@@ -1,0 +1,15 @@
+"""Shared helpers for the benchmark harness.
+
+Each bench module reproduces one figure/theorem of the paper: it prints the
+paper-vs-measured comparison (captured into EXPERIMENTS.md) and times a
+representative kernel with pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+
+def banner(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

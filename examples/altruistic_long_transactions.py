@@ -1,0 +1,78 @@
+"""Altruistic locking for long-lived transactions (the paper's Section 5).
+
+Reproduces the Fig. 4 wake scenario, then measures what altruism buys: a
+long sweep transaction under strict 2PL blocks every short transaction until
+it commits, while under altruistic locking the short ones run in its wake.
+
+Run:  python examples/altruistic_long_transactions.py
+"""
+
+from repro.core import StructuralState, is_serializable
+from repro.policies import (
+    Access,
+    AltruisticPolicy,
+    TwoPhasePolicy,
+    check_altruistic_schedule,
+)
+from repro.sim import Simulator, WorkloadItem, long_transaction_workload
+from repro.viz import render_schedule
+
+
+def fig4_walkthrough() -> None:
+    print("=" * 70)
+    print("Fig. 4: a transaction in another's wake")
+    print("=" * 70)
+    items = [
+        WorkloadItem("T1", [Access(1), Access(2), Access(3)]),
+        WorkloadItem("T2", [Access(1), Access(2), Access(4)]),
+    ]
+    init = StructuralState.of(1, 2, 3, 4)
+    result = Simulator(AltruisticPolicy(), seed=7).run(items, init)
+    print(render_schedule(result.schedule, ["T1", "T2"]))
+    print("\nT1 donates 1 and 2 before its locked point (its lock of 3);")
+    print("T2 picks them up inside the wake and must wait for entity 4")
+    print("until the wake dissolves.")
+    print("serializable?", is_serializable(result.schedule))
+    print("AL1-AL3 violations:", check_altruistic_schedule(result.schedule) or "none")
+
+
+def long_vs_short() -> None:
+    print("\n" + "=" * 70)
+    print("Sweep transaction + late-arriving short transactions: 2PL vs AL")
+    print("=" * 70)
+    print("Shorts touch the leading third of the sweep's footprint and")
+    print("arrive after the sweep has passed it (start_tick > 0).\n")
+    import statistics
+
+    header = f"{'sweep length':>12} {'2PL short-latency':>18} {'AL short-latency':>17} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for n in (8, 16, 24, 32):
+        means = {}
+        for policy in (TwoPhasePolicy(), AltruisticPolicy()):
+            lat = []
+            for seed in range(8):
+                items, init = long_transaction_workload(
+                    n, 5, short_length=2, seed=seed,
+                    region="leading", short_start=int(n * 2.5),
+                )
+                result = Simulator(policy, seed=seed).run(items, init)
+                assert is_serializable(result.schedule)
+                lat.append(statistics.fmean(
+                    rec.latency
+                    for name, rec in result.metrics.records.items()
+                    if name != "LONG"
+                ))
+            means[policy.name] = statistics.fmean(lat)
+        print(f"{n:>12} {means['2PL']:>18.1f} {means['Altruistic']:>17.1f} "
+              f"{means['2PL'] / means['Altruistic']:>8.2f}x")
+    print(
+        "\nThe longer the sweep, the more altruism pays: under strict 2PL the"
+        "\nlate shorts queue behind the sweep's whole lifetime, while under"
+        "\naltruistic locking they run in its wake."
+    )
+
+
+if __name__ == "__main__":
+    fig4_walkthrough()
+    long_vs_short()

@@ -1,0 +1,82 @@
+"""Quickstart: the dynamic-database model in five minutes.
+
+Reproduces the Section 2 walk-through of the paper: proper vs improper
+schedules, well-formed locked transactions, legality, serializability, and a
+first taste of the safety deciders.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    Schedule,
+    StructuralState,
+    Transaction,
+    decide_safety,
+    is_serializable,
+    serializability_graph,
+    two_phase_locked,
+)
+from repro.viz import render_schedule
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Transactions over a dynamic database (Section 2's example).
+    # ------------------------------------------------------------------
+    t1 = Transaction.from_text("T1", "(I a) (I b) (W c) (I d)")
+    t2 = Transaction.from_text("T2", "(R a) (D b) (I c)")
+    print("Two plain transactions:")
+    print(" ", t1)
+    print(" ", t2)
+
+    # The paper's proper interleaving, starting from the empty database:
+    proper = Schedule.from_order([t1, t2], ["T1", "T1", "T2", "T2", "T2", "T1", "T1"])
+    print("\nProper interleaving (every step defined when it executes):")
+    print(render_schedule(proper, ["T1", "T2"]))
+    print("  proper?", proper.is_proper())
+
+    # The serial execution is NOT proper: T1 writes c before anyone inserts it.
+    improper = Schedule.serial([t1, t2])
+    print("\nSerial execution is improper:", improper.properness_violation())
+
+    # ------------------------------------------------------------------
+    # 2. Locked transactions: well-formedness and legality.
+    # ------------------------------------------------------------------
+    l1, l2 = two_phase_locked(t1), two_phase_locked(t2)
+    print("\nStrict-2PL locked versions:")
+    print(" ", l1)
+    print(" ", l2)
+    print("  well-formed?", l1.is_well_formed(), "| two-phase?", l1.is_two_phase())
+
+    # ------------------------------------------------------------------
+    # 3. Serializability via the conflict graph D(S).
+    # ------------------------------------------------------------------
+    schedule = Schedule.from_order(
+        [l1, l2], ["T1"] * 4 + ["T2"] * 3 + ["T1"] * (len(l1) - 4) + ["T2"] * (len(l2) - 3)
+    )
+    print("\nAn interleaving of the locked transactions:")
+    print("  legal?", schedule.is_legal(), "| proper?", schedule.is_proper())
+    print("  D(S) =", serializability_graph(schedule))
+    print("  serializable?", is_serializable(schedule))
+
+    # ------------------------------------------------------------------
+    # 4. Safety of the whole system, decided both ways (Theorem 1).
+    # ------------------------------------------------------------------
+    verdict = decide_safety([l1, l2])
+    print("\nSafety of {T1, T2} under strict 2PL:")
+    print("  brute force says safe:", verdict.safe_bruteforce)
+    print("  canonical-schedule search says safe:", verdict.safe_canonical)
+    print("  deciders agree (Theorem 1):", verdict.agree)
+
+    # A non-two-phase variant is unsafe when a and b pre-exist:
+    u1 = Transaction.from_text("U1", "(LX a) (W a) (UX a) (LX b) (W b) (UX b)")
+    u2 = Transaction.from_text("U2", "(LX b) (W b) (UX b) (LX a) (W a) (UX a)")
+    verdict = decide_safety([u1, u2], StructuralState.of("a", "b"))
+    print("\nSafety of the early-release pair {U1, U2}:")
+    print("  safe?", verdict.safe, "| deciders agree:", verdict.agree)
+    if verdict.canonical_witness is not None:
+        print(verdict.canonical_witness.describe())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+"""repro — a reproduction of *Safe Locking Policies for Dynamic Databases*
+(Chaudhri & Hadzilacos, PODS 1995 / JCSS 1998).
+
+The library implements the paper's model of dynamic databases (structural
+states, proper schedules), the canonical-schedules characterisation of unsafe
+locking (Theorem 1) together with two independent safety deciders, and the
+three locking policies whose correctness the paper proves with it: the
+dynamic DAG (DDAG) policy, altruistic locking, and the dynamic tree (DTR)
+policy.  A discrete-event concurrency simulator substitutes for the
+companion performance study the paper cites.
+
+Quickstart::
+
+    from repro import Transaction, Schedule, is_serializable
+
+    t1 = Transaction.from_text("T1", "(LX a) (I a) (UX a)")
+    t2 = Transaction.from_text("T2", "(LX a) (W a) (UX a)")
+    s = Schedule.from_order([t1, t2], ["T1"] * 3 + ["T2"] * 3)
+    assert s.is_legal() and s.is_proper() and is_serializable(s)
+
+See ``examples/`` for worked scenarios and ``benchmarks/`` for the
+figure-by-figure reproduction harness.
+"""
+
+from .core import (  # noqa: F401
+    CanonicalWitness,
+    DatabaseState,
+    Entity,
+    Event,
+    InteractionGraph,
+    LockMode,
+    Operation,
+    SafetyVerdict,
+    Schedule,
+    SerializabilityGraph,
+    Step,
+    StructuralState,
+    Transaction,
+    ValueState,
+    all_two_phase,
+    analyze_two_phase,
+    assert_well_formed,
+    canonicalize,
+    decide_safety,
+    find_canonical_witness,
+    find_completion,
+    find_nonserializable_schedule,
+    is_completable,
+    is_safe_bruteforce,
+    is_safe_canonical,
+    is_serializable,
+    move,
+    parse_step,
+    parse_steps,
+    serializability_graph,
+    serialization_order,
+    split_at_first_cycle,
+    static_chordless_heuristic,
+    step,
+    transpose,
+    two_phase_locked,
+    validate_schedule,
+)
+from .exceptions import (  # noqa: F401
+    DeadlockError,
+    IllegalScheduleError,
+    ImproperScheduleError,
+    MalformedScheduleError,
+    MalformedTransactionError,
+    ModelError,
+    PolicyViolation,
+    ReproError,
+    SearchBudgetExceeded,
+    SimulationError,
+    VerificationError,
+)
+
+__version__ = "1.0.0"

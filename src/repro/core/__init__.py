@@ -1,0 +1,129 @@
+"""Core model of the paper: steps, transactions, schedules, serializability,
+and the Theorem-1 canonical-schedule machinery."""
+
+from .canonical import (
+    CanonicalWitness,
+    WitnessSearchStats,
+    find_canonical_witness,
+)
+from .completion import find_completion, is_completable
+from .interaction import (
+    InteractionGraph,
+    StaticHeuristicVerdict,
+    static_chordless_heuristic,
+)
+from .operations import (
+    D,
+    I,
+    LS,
+    LX,
+    LockMode,
+    Operation,
+    R,
+    US,
+    UX,
+    W,
+    operations_conflict,
+    parse_operation,
+)
+from .safety import (
+    SafetyVerdict,
+    SearchStats,
+    decide_safety,
+    find_nonserializable_schedule,
+    is_safe_bruteforce,
+    is_safe_canonical,
+)
+from .schedules import Event, Schedule, validate_schedule
+from .serializability import (
+    SerializabilityGraph,
+    conflict_equivalent,
+    equivalent_serial_schedule,
+    is_serializable,
+    is_serializable_by_definition,
+    serializability_graph,
+    serialization_order,
+)
+from .states import DatabaseState, StructuralState, ValueState
+from .steps import Entity, Step, parse_step, parse_steps, step
+from .transactions import (
+    Transaction,
+    assert_well_formed,
+    transactions_by_name,
+    two_phase_locked,
+)
+from .transforms import (
+    CanonicalizationTrace,
+    canonicalize,
+    is_sink_of_prefix,
+    move,
+    split_at_first_cycle,
+    transpose,
+)
+from .twophase import (
+    TwoPhaseReport,
+    all_two_phase,
+    analyze_two_phase,
+    candidate_distinguished_transactions,
+)
+
+__all__ = [
+    "CanonicalWitness",
+    "CanonicalizationTrace",
+    "D",
+    "DatabaseState",
+    "Entity",
+    "Event",
+    "I",
+    "InteractionGraph",
+    "LS",
+    "LX",
+    "LockMode",
+    "Operation",
+    "R",
+    "SafetyVerdict",
+    "Schedule",
+    "SearchStats",
+    "SerializabilityGraph",
+    "StaticHeuristicVerdict",
+    "Step",
+    "StructuralState",
+    "Transaction",
+    "TwoPhaseReport",
+    "US",
+    "UX",
+    "ValueState",
+    "W",
+    "WitnessSearchStats",
+    "all_two_phase",
+    "analyze_two_phase",
+    "assert_well_formed",
+    "candidate_distinguished_transactions",
+    "canonicalize",
+    "conflict_equivalent",
+    "decide_safety",
+    "equivalent_serial_schedule",
+    "find_canonical_witness",
+    "find_completion",
+    "find_nonserializable_schedule",
+    "is_completable",
+    "is_safe_bruteforce",
+    "is_safe_canonical",
+    "is_serializable",
+    "is_serializable_by_definition",
+    "is_sink_of_prefix",
+    "move",
+    "operations_conflict",
+    "parse_operation",
+    "parse_step",
+    "parse_steps",
+    "serializability_graph",
+    "serialization_order",
+    "split_at_first_cycle",
+    "static_chordless_heuristic",
+    "step",
+    "transactions_by_name",
+    "transpose",
+    "two_phase_locked",
+    "validate_schedule",
+]

@@ -1,0 +1,181 @@
+"""Search for legal & proper completions of a partial schedule.
+
+Condition (2b) of Theorem 1 asks whether a partial schedule "can be extended
+to a complete legal and proper schedule".  This module answers that question
+by depth-first search over the remaining steps, with three soundness-critical
+observations:
+
+1. **Legality and properness are prefix-closed**, so an illegal/improper
+   extension can be pruned immediately.
+2. **The reachable search state is a function of the progress vector** (how
+   many steps of each transaction have executed).  Held locks are a function
+   of each transaction's own prefix; and any two *proper* orders of the same
+   step multiset leave the database in the same structural state, because
+   properness forces INSERT/DELETE steps on each entity to alternate.
+   Hence "completable from here?" can be memoised on the progress vector.
+3. A schedule is *complete* when every transaction that has started has
+   finished; the search may start additional transactions when their
+   INSERTs/DELETEs are needed to make other transactions' steps defined.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..exceptions import SearchBudgetExceeded
+from .operations import LockMode, Operation
+from .schedules import Event, Schedule
+from .states import StructuralState
+from .steps import Entity
+
+#: Default node budget for completion searches.
+DEFAULT_BUDGET = 200_000
+
+
+class _CompletionSearch:
+    """One DFS instance; see module docstring for the invariants."""
+
+    def __init__(self, schedule: Schedule, initial: StructuralState, budget: int,
+                 require_all: bool = False):
+        self.schedule = schedule
+        self.transactions = schedule.transactions
+        self.initial = initial
+        self.budget = budget
+        self.require_all = require_all
+        self.nodes = 0
+        self.dead: Set[Tuple[int, ...]] = set()
+        self.names = sorted(self.transactions)
+
+        # Reconstruct the mutable search state from the existing prefix.
+        self.progress: Dict[str, int] = schedule.progress()
+        self.holders: Dict[Entity, Dict[str, LockMode]] = {}
+        state = initial
+        for event in schedule.events:
+            state = self._apply(event, state)
+        self.state = state
+        self.extension: List[Event] = []
+
+    # ------------------------------------------------------------------
+
+    def _apply(self, event: Event, state: StructuralState) -> StructuralState:
+        step = event.step
+        mode = step.lock_mode
+        if step.is_lock and mode is not None:
+            current = self.holders.setdefault(step.entity, {})
+            prev = current.get(event.txn)
+            if prev is None or mode is LockMode.EXCLUSIVE:
+                current[event.txn] = mode
+        elif step.is_unlock and mode is not None:
+            current = self.holders.get(step.entity, {})
+            if current.get(event.txn) is mode:
+                del current[event.txn]
+        if step.op is Operation.INSERT:
+            return StructuralState(state.entities | {step.entity})
+        if step.op is Operation.DELETE:
+            return StructuralState(state.entities - {step.entity})
+        return state
+
+    def _undo(self, event: Event, prior_mode: Optional[LockMode],
+              prior_state: StructuralState) -> None:
+        step = event.step
+        if (step.is_lock or step.is_unlock) and step.lock_mode is not None:
+            current = self.holders.setdefault(step.entity, {})
+            if prior_mode is None:
+                current.pop(event.txn, None)
+            else:
+                current[event.txn] = prior_mode
+        self.state = prior_state
+
+    def _admissible(self, txn: str) -> Optional[Event]:
+        """The next event of ``txn`` if executing it now keeps the schedule
+        legal and proper; ``None`` otherwise."""
+        idx = self.progress[txn]
+        steps = self.transactions[txn].steps
+        if idx >= len(steps):
+            return None
+        step = steps[idx]
+        if not self.state.defines(step):
+            return None
+        mode = step.lock_mode
+        if step.is_lock and mode is not None:
+            for other, other_mode in self.holders.get(step.entity, {}).items():
+                if other != txn and mode.conflicts_with(other_mode):
+                    return None
+        return Event(txn, idx, step)
+
+    def _done(self) -> bool:
+        if self.require_all:
+            return all(
+                self.progress[name] == len(self.transactions[name].steps)
+                for name in self.names
+            )
+        return all(
+            self.progress[name] in (0, len(self.transactions[name].steps))
+            for name in self.names
+        )
+
+    def run(self) -> Optional[List[Event]]:
+        if self._dfs():
+            return list(self.extension)
+        return None
+
+    def _dfs(self) -> bool:
+        if self._done():
+            return True
+        key = tuple(self.progress[name] for name in self.names)
+        if key in self.dead:
+            return False
+        self.nodes += 1
+        if self.nodes > self.budget:
+            raise SearchBudgetExceeded(self.budget)
+        for txn in self.names:
+            event = self._admissible(txn)
+            if event is None:
+                continue
+            prior_mode = self.holders.get(event.step.entity, {}).get(txn)
+            prior_state = self.state
+            self.state = self._apply(event, self.state)
+            self.progress[txn] += 1
+            self.extension.append(event)
+            if self._dfs():
+                return True
+            self.extension.pop()
+            self.progress[txn] -= 1
+            self._undo(event, prior_mode, prior_state)
+        self.dead.add(key)
+        return False
+
+
+def find_completion(
+    schedule: Schedule,
+    initial: StructuralState = StructuralState.empty(),
+    budget: int = DEFAULT_BUDGET,
+    require_all: bool = False,
+) -> Optional[Schedule]:
+    """Extend ``schedule`` to a complete legal & proper schedule, if possible.
+
+    The input must itself be a legal & proper partial schedule.  With
+    ``require_all`` every transaction of the system must finish; otherwise
+    (the paper's notion of a schedule "of some transactions") only the
+    transactions that have started must finish, though the search may start
+    others when properness demands it.
+
+    Returns the completed schedule, or ``None`` when no completion exists.
+    Raises :class:`SearchBudgetExceeded` when the search is cut off — callers
+    must treat that as "unknown", never as "no".
+    """
+    search = _CompletionSearch(schedule, initial, budget, require_all)
+    extension = search.run()
+    if extension is None:
+        return None
+    return schedule.with_events(schedule.events + tuple(extension))
+
+
+def is_completable(
+    schedule: Schedule,
+    initial: StructuralState = StructuralState.empty(),
+    budget: int = DEFAULT_BUDGET,
+    require_all: bool = False,
+) -> bool:
+    """Decision form of :func:`find_completion`."""
+    return find_completion(schedule, initial, budget, require_all) is not None

@@ -1,0 +1,221 @@
+"""Structural and value states of a dynamic database (Section 2).
+
+The paper distinguishes two components of database state:
+
+* the **structural state** ``G`` — *which* entities currently exist.  Only
+  INSERT and DELETE change it.  A READ/WRITE/DELETE step is *defined* in
+  ``G`` iff its entity exists in ``G``; an INSERT step is defined iff its
+  entity does **not** exist.  Lock and unlock steps are always defined —
+  the paper explicitly allows locking an entity before inserting it.
+* the **value state** — the assignment of values to the existing entities.
+  Only WRITE changes it (and INSERT initialises it; DELETE removes it).
+
+:class:`StructuralState` is immutable: applying steps produces new states, so
+the history of states ``G_1, G_2, …`` used throughout the DDAG/DTR proofs can
+be retained cheaply.  :class:`ValueState` is a thin immutable mapping used by
+the simulator and the examples; the safety theory never needs it (properness
+and serializability depend only on structure and ordering).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Tuple
+
+from ..exceptions import ImproperScheduleError
+from .operations import Operation
+from .steps import Entity, Step
+
+
+@dataclass(frozen=True)
+class StructuralState:
+    """An immutable set of existing entities — a structural state ``G``."""
+
+    entities: FrozenSet[Entity] = frozenset()
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def of(cls, *entities: Entity) -> "StructuralState":
+        """Build a state containing exactly the given entities."""
+        return cls(frozenset(entities))
+
+    @classmethod
+    def empty(cls) -> "StructuralState":
+        """The empty database, the initial state in most of the paper's
+        examples (e.g. the schedules of Section 2 "begin when the database is
+        empty")."""
+        return cls(frozenset())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def __contains__(self, entity: Entity) -> bool:
+        return entity in self.entities
+
+    def __iter__(self) -> Iterator[Entity]:
+        return iter(self.entities)
+
+    def __len__(self) -> int:
+        return len(self.entities)
+
+    def defines(self, step: Step) -> bool:
+        """Is ``step`` defined in this structural state?
+
+        READ/WRITE/DELETE require the entity to exist; INSERT requires it to
+        be absent; lock/unlock steps are always defined (§2: "before
+        inserting an entity a transaction must lock it even though it does
+        not actually exist in the database").
+        """
+        if step.op.requires_present:
+            return step.entity in self.entities
+        if step.op.requires_absent:
+            return step.entity not in self.entities
+        return True
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+
+    def apply(self, step: Step) -> "StructuralState":
+        """Return the state after executing ``step``.
+
+        Raises :class:`ImproperScheduleError` if the step is not defined
+        here, mirroring the paper's ``S(G) is undefined`` condition.
+        """
+        if not self.defines(step):
+            raise ImproperScheduleError(
+                f"step {step} is not defined in structural state {self}"
+            )
+        if step.op is Operation.INSERT:
+            return StructuralState(self.entities | {step.entity})
+        if step.op is Operation.DELETE:
+            return StructuralState(self.entities - {step.entity})
+        return self
+
+    def apply_all(self, steps: Iterable[Step]) -> "StructuralState":
+        """Fold :meth:`apply` over a sequence of steps — the paper's
+        ``S(G)``.  Raises on the first undefined step."""
+        state = self
+        for s in steps:
+            state = state.apply(s)
+        return state
+
+    def trace(self, steps: Iterable[Step]) -> List["StructuralState"]:
+        """Return the list of intermediate states ``[G_0, G_1, …, G_n]``
+        visited while applying ``steps``; ``G_0`` is this state.
+
+        The DDAG and DTR correctness arguments constantly refer to "the state
+        of the graph when transaction i begins"; this helper materialises
+        those snapshots.
+        """
+        states = [self]
+        for s in steps:
+            states.append(states[-1].apply(s))
+        return states
+
+    def __str__(self) -> str:
+        inner = ", ".join(sorted(map(str, self.entities)))
+        return "{" + inner + "}"
+
+
+@dataclass(frozen=True)
+class ValueState:
+    """An immutable assignment of values to (a subset of) existing entities.
+
+    The safety theory never inspects values — only the simulator and the
+    examples use them, to demonstrate that nonserializable schedules really do
+    corrupt data while serializable ones do not.
+    """
+
+    values: Tuple[Tuple[Entity, Hashable], ...] = ()
+
+    @classmethod
+    def from_mapping(cls, mapping: Mapping[Entity, Hashable]) -> "ValueState":
+        return cls(tuple(sorted(mapping.items(), key=lambda kv: repr(kv[0]))))
+
+    def as_dict(self) -> Dict[Entity, Hashable]:
+        return dict(self.values)
+
+    def get(self, entity: Entity, default: Hashable = None) -> Hashable:
+        return self.as_dict().get(entity, default)
+
+    def set(self, entity: Entity, value: Hashable) -> "ValueState":
+        d = self.as_dict()
+        d[entity] = value
+        return ValueState.from_mapping(d)
+
+    def remove(self, entity: Entity) -> "ValueState":
+        d = self.as_dict()
+        d.pop(entity, None)
+        return ValueState.from_mapping(d)
+
+    def __str__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.values)
+        return "{" + inner + "}"
+
+
+@dataclass
+class DatabaseState:
+    """A mutable pairing of structural and value state used by the simulator.
+
+    ``apply`` executes a data step, maintaining both components; a WRITE
+    records ``value`` (defaulting to a monotone version counter so that every
+    write is distinguishable), and a READ returns the current value.
+    """
+
+    structure: StructuralState = field(default_factory=StructuralState.empty)
+    values: ValueState = field(default_factory=ValueState)
+    _version: int = 0
+
+    def apply(self, step: Step, value: Optional[Hashable] = None) -> Optional[Hashable]:
+        """Execute one data step; returns the read value for READ steps."""
+        self.structure = self.structure.apply(step)
+        self._version += 1
+        if step.op is Operation.READ:
+            return self.values.get(step.entity)
+        if step.op is Operation.WRITE:
+            self.values = self.values.set(
+                step.entity, value if value is not None else f"v{self._version}"
+            )
+        elif step.op is Operation.INSERT:
+            self.values = self.values.set(
+                step.entity, value if value is not None else f"init{self._version}"
+            )
+        elif step.op is Operation.DELETE:
+            self.values = self.values.remove(step.entity)
+        return None
+
+    def snapshot(self) -> Tuple[StructuralState, ValueState]:
+        """An immutable snapshot of the current (structure, values) pair."""
+        return self.structure, self.values
+
+
+def is_defined_sequence(steps: Iterable[Step], initial: StructuralState) -> bool:
+    """True iff every step of the sequence is defined in the structural state
+    in which it executes — i.e. the paper's ``S(G)`` is defined."""
+    state = initial
+    for s in steps:
+        if not state.defines(s):
+            return False
+        state = state.apply(s)
+    return True
+
+
+def first_undefined_step(
+    steps: Iterable[Step], initial: StructuralState
+) -> Optional[Tuple[int, Step, StructuralState]]:
+    """Locate the first step undefined in its execution state.
+
+    Returns ``(position, step, state_before)`` or ``None`` if the whole
+    sequence is defined.  This powers the diagnostics in properness errors.
+    """
+    state = initial
+    for i, s in enumerate(steps):
+        if not state.defines(s):
+            return i, s, state
+        state = state.apply(s)
+    return None

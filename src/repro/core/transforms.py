@@ -1,0 +1,257 @@
+"""Schedule transformations: Lemma 1, Lemma 2, and the canonicalisation
+pipeline used in the Only-If direction of Theorem 1.
+
+* :func:`transpose` swaps two adjacent events of different transactions.
+  Lemma 1: if the two steps do not conflict and the schedule was legal and
+  proper, the result is legal and proper with the same ``D(S)``.
+* :func:`move` implements the paper's ``move(S, S', T')``: the steps of
+  transaction ``T'`` inside the prefix ``S'`` are moved to follow all other
+  steps of ``S'``, preserving the relative order of steps inside and outside
+  ``T'``.  Lemma 2: if ``T'`` is a sink of ``D(S')`` and ``S`` was legal and
+  proper, the result is legal and proper with the same ``D(S)``.
+* :func:`split_at_first_cycle` computes the paper's ``S⁻`` (longest prefix
+  with acyclic ``D``) and ``S⁺`` (shortest prefix with a cycle), identifying
+  the distinguished transaction ``T_c`` and entity ``A*``.
+* :func:`canonicalize` runs the full Only-If construction: minimise the set
+  ``M(S)`` by repeated moves, then serialise the ``S⁻`` prefixes in
+  topological order, producing a :class:`~repro.core.canonical.CanonicalWitness`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..exceptions import ModelError
+from .operations import LockMode
+from .schedules import Event, Schedule
+from .serializability import SerializabilityGraph, serializability_graph
+from .steps import Entity
+
+
+def transpose(schedule: Schedule, position: int, require_nonconflicting: bool = True) -> Schedule:
+    """Swap the adjacent events at ``position`` and ``position + 1``.
+
+    The two events must belong to different transactions (otherwise the
+    result would violate program order).  With ``require_nonconflicting``
+    (the Lemma 1 precondition) the events must also not conflict.
+    """
+    events = schedule.events
+    if not 0 <= position < len(events) - 1:
+        raise IndexError(f"no adjacent pair at position {position}")
+    first, second = events[position], events[position + 1]
+    if first.txn == second.txn:
+        raise ModelError(
+            f"cannot transpose events {first} and {second} of the same transaction"
+        )
+    if require_nonconflicting and first.conflicts_with(second):
+        raise ModelError(f"events {first} and {second} conflict; Lemma 1 does not apply")
+    swapped = events[:position] + (second, first) + events[position + 2 :]
+    return schedule.with_events(swapped)
+
+
+def move(schedule: Schedule, prefix_length: int, txn_name: str) -> Schedule:
+    """The paper's ``move(S, S', T')`` permutation.
+
+    ``S'`` is the prefix of the first ``prefix_length`` events; ``T'`` is the
+    subsequence of ``S'`` belonging to ``txn_name``.  The result places the
+    events of ``S' \\ T'`` first, then the events of ``T'``, then the suffix,
+    preserving relative order inside each group — exactly the formal
+    definition in Section 3.2.
+    """
+    if not 0 <= prefix_length <= len(schedule.events):
+        raise IndexError(f"prefix length {prefix_length} out of range")
+    prefix = schedule.events[:prefix_length]
+    suffix = schedule.events[prefix_length:]
+    moved = tuple(e for e in prefix if e.txn == txn_name)
+    kept = tuple(e for e in prefix if e.txn != txn_name)
+    return schedule.with_events(kept + moved + suffix)
+
+
+def is_sink_of_prefix(schedule: Schedule, prefix_length: int, txn_name: str) -> bool:
+    """Is ``txn_name`` a sink of ``D(S')`` for the given prefix?  (The Lemma 2
+    precondition.)"""
+    graph = serializability_graph(schedule.prefix(prefix_length))
+    return txn_name in graph.nodes and txn_name in graph.sinks()
+
+
+def split_at_first_cycle(
+    schedule: Schedule,
+) -> Optional[Tuple[int, Event]]:
+    """Find the paper's ``S⁻``/``S⁺`` split.
+
+    Returns ``(minus_length, closing_event)`` where ``minus_length`` is the
+    length of ``S⁻`` (the longest prefix whose ``D`` is acyclic) and
+    ``closing_event`` is the event whose execution first creates a cycle
+    (``S⁺ = S⁻`` extended with it).  Returns ``None`` when ``D(S)`` is
+    acyclic, i.e. the schedule is serializable.
+
+    Incremental construction: edges only ever get added as the prefix grows,
+    so we add the events one at a time and test for a cycle through the new
+    event's transaction.
+    """
+    edges: Set[Tuple[str, str]] = set()
+    nodes: Set[str] = set()
+    past: List[Event] = []
+    for i, e in enumerate(schedule.events):
+        nodes.add(e.txn)
+        for earlier in past:
+            if earlier.conflicts_with(e):
+                edges.add((earlier.txn, e.txn))
+        graph = SerializabilityGraph(frozenset(nodes), frozenset(edges))
+        if not graph.is_acyclic():
+            return i, e
+        past.append(e)
+    return None
+
+
+class CanonicalizationTrace:
+    """Diagnostics collected while canonicalising a schedule.
+
+    ``minimization_moves`` records the transactions moved while shrinking
+    ``M(S)``; ``serialization_moves`` the transactions moved while
+    serialising the prefix (in the order they were moved, i.e. reverse
+    topological order).
+    """
+
+    def __init__(self) -> None:
+        self.minimization_moves: List[str] = []
+        self.serialization_moves: List[str] = []
+        self.intermediate_schedules: List[Schedule] = []
+
+
+def _conflict_unlockers(
+    prefix: Schedule, entity: Entity, lock_mode: LockMode
+) -> Set[str]:
+    """Transactions that, within ``prefix``, unlock ``entity`` in a mode that
+    conflicts with ``lock_mode`` (the mode of ``T_c``'s pending lock)."""
+    out: Set[str] = set()
+    for e in prefix.events:
+        if (
+            e.step.is_unlock
+            and e.step.entity == entity
+            and e.step.lock_mode is not None
+            and e.step.lock_mode.conflicts_with(lock_mode)
+        ):
+            out.add(e.txn)
+    return out
+
+
+def _blocked_set(
+    prefix: Schedule, graph: SerializabilityGraph, entity: Entity, lock_mode: LockMode
+) -> Set[str]:
+    """The paper's ``M(S)`` (refined with lock modes): nodes of ``D(S⁻)``
+    that neither conflict-unlock ``A*`` in ``S⁻`` nor precede, in ``D(S⁻)``,
+    a node that does."""
+    unlockers = _conflict_unlockers(prefix, entity, lock_mode)
+    # Transitive closure of "precedes an unlocker": walk predecessors.
+    reaching: Set[str] = set(unlockers)
+    changed = True
+    while changed:
+        changed = False
+        for a, b in graph.edges:
+            if b in reaching and a not in reaching:
+                reaching.add(a)
+                changed = True
+    return set(graph.nodes) - reaching
+
+
+def canonicalize(
+    schedule: Schedule,
+    trace: Optional[CanonicalizationTrace] = None,
+):
+    """Run the Only-If construction of Theorem 1 on a complete, legal,
+    proper, **nonserializable** schedule.
+
+    Returns a :class:`repro.core.canonical.CanonicalWitness` whose serial
+    prefix schedule ``S'``, distinguished transaction ``T_c``, and entity
+    ``A*`` satisfy conditions (1), (2a) and (2b) of the theorem; the witness
+    carries the final transformed schedule as its completion evidence.
+
+    Raises :class:`ModelError` if the schedule is serializable (no ``S⁻``
+    split exists) or if the cycle-closing step is not a lock step (which
+    cannot happen for well-formed, legal inputs — see the discussion in
+    ``transforms``' tests).
+    """
+    from .canonical import CanonicalWitness  # local import to avoid a cycle
+
+    split = split_at_first_cycle(schedule)
+    if split is None:
+        raise ModelError("schedule is serializable; nothing to canonicalise")
+    _, closing = split
+    if not closing.step.is_lock:
+        raise ModelError(
+            f"cycle-closing event {closing} is not a lock step; the input is "
+            f"not a legal schedule of well-formed transactions"
+        )
+    tc = closing.txn
+    entity = closing.step.entity
+    lock_mode = closing.step.lock_mode
+    assert lock_mode is not None
+
+    current = schedule
+    # --------------------------------------------------------------
+    # Phase 1: minimise M(S) by moving sinks of D(S⁻) that are in M
+    # past the (L A*) step (move over the S⁺ prefix).
+    # --------------------------------------------------------------
+    while True:
+        split = split_at_first_cycle(current)
+        assert split is not None, "moves must preserve nonserializability"
+        minus_len, closing_now = split
+        assert closing_now.txn == tc and closing_now.step.entity == entity, (
+            "moves must preserve the earliest cycle's closing step"
+        )
+        prefix = current.prefix(minus_len)
+        graph = serializability_graph(prefix)
+        blocked = _blocked_set(prefix, graph, entity, lock_mode)
+        if not blocked:
+            break
+        movable = sorted(blocked & set(graph.sinks()), key=repr)
+        assert movable, "nonempty M(S) must contain a sink of D(S⁻)"
+        victim = movable[0]
+        current = move(current, minus_len + 1, victim)
+        if trace is not None:
+            trace.minimization_moves.append(victim)
+            trace.intermediate_schedules.append(current)
+
+    # --------------------------------------------------------------
+    # Phase 2: serialise the S⁻ prefixes in topological order by moving
+    # T'_k, then T'_{k-1}, … to the back of the shrinking prefix.
+    # --------------------------------------------------------------
+    split = split_at_first_cycle(current)
+    assert split is not None
+    minus_len, _ = split
+    graph = serializability_graph(current.prefix(minus_len))
+    topo = graph.topological_sort()
+    boundary = minus_len
+    for name in reversed(topo):
+        current = move(current, boundary, name)
+        if trace is not None:
+            trace.serialization_moves.append(name)
+            trace.intermediate_schedules.append(current)
+        # The prefix for the next move is everything before the first moved
+        # event of `name`: the events of earlier-topological transactions.
+        moved_count = sum(
+            1 for e in current.events[:boundary] if e.txn == name
+        )
+        boundary -= moved_count
+
+    # --------------------------------------------------------------
+    # Assemble the witness.
+    # --------------------------------------------------------------
+    split = split_at_first_cycle(current)
+    assert split is not None
+    minus_len, closing_now = split
+    assert closing_now.txn == tc and closing_now.step.entity == entity
+    prefix = current.prefix(minus_len)
+    prefix_lengths: Dict[str, int] = prefix.progress()
+    order = [name for name in topo]
+    txns = [current.transaction(name) for name in order]
+    c_index = order.index(tc)
+    return CanonicalWitness(
+        transactions=tuple(txns),
+        c_index=c_index,
+        entity=entity,
+        lock_mode=lock_mode,
+        prefix_lengths={n: prefix_lengths.get(n, 0) for n in order},
+        completion=current,
+    )

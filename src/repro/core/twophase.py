@@ -1,0 +1,86 @@
+"""Two-phase locking analysis.
+
+Condition 1 of Theorem 1 requires the distinguished transaction ``T_c`` to
+lock an entity *after* it has unlocked some entity — i.e. to violate the
+two-phase rule.  Hence, as the paper notes, "if all transactions obey
+two-phase locking we can immediately conclude that the transaction system is
+safe".  This module packages that shortcut and a few related diagnostics
+used by the verifier and the policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from .steps import Step
+from .transactions import Transaction
+
+
+@dataclass(frozen=True)
+class TwoPhaseReport:
+    """Result of analysing a transaction for two-phase structure.
+
+    ``violations`` lists ``(unlock_index, lock_index)`` pairs where a LOCK
+    step follows an UNLOCK step — the exact shape condition 1 of Theorem 1
+    looks for.  ``lock_point`` is the index of the last LOCK step (the
+    transaction's *locked point*), ``None`` for lock-free transactions.
+    """
+
+    name: str
+    is_two_phase: bool
+    violations: Tuple[Tuple[int, int], ...]
+    lock_point: Optional[int]
+
+    def first_violation(self) -> Optional[Tuple[int, int]]:
+        return self.violations[0] if self.violations else None
+
+
+def analyze_two_phase(txn: Transaction) -> TwoPhaseReport:
+    """Analyse one transaction: locate every post-unlock lock step."""
+    first_unlock: Optional[int] = None
+    violations: List[Tuple[int, int]] = []
+    for i, s in enumerate(txn.steps):
+        if s.is_unlock and first_unlock is None:
+            first_unlock = i
+        elif s.is_lock and first_unlock is not None:
+            violations.append((first_unlock, i))
+    return TwoPhaseReport(
+        name=txn.name,
+        is_two_phase=not violations,
+        violations=tuple(violations),
+        lock_point=txn.locked_point(),
+    )
+
+
+def all_two_phase(transactions: Sequence[Transaction]) -> bool:
+    """True iff every transaction obeys two-phase locking.
+
+    When this holds the system is safe with no further search — no candidate
+    ``T_c`` can satisfy condition 1 of Theorem 1.
+    """
+    return all(analyze_two_phase(t).is_two_phase for t in transactions)
+
+
+def candidate_distinguished_transactions(
+    transactions: Sequence[Transaction],
+) -> List[Transaction]:
+    """The transactions that could serve as ``T_c`` in a canonical witness:
+    exactly the non-two-phase ones."""
+    return [t for t in transactions if not analyze_two_phase(t).is_two_phase]
+
+
+def growing_phase(txn: Transaction) -> Tuple[Step, ...]:
+    """The steps up to and including the locked point (the growing phase)."""
+    point = txn.locked_point()
+    if point is None:
+        return ()
+    return txn.steps[: point + 1]
+
+
+def shrinking_phase(txn: Transaction) -> Tuple[Step, ...]:
+    """The steps strictly after the locked point (the shrinking phase)."""
+    point = txn.locked_point()
+    if point is None:
+        return txn.steps
+    return txn.steps[point + 1 :]

@@ -1,0 +1,23 @@
+"""Schedule-space enumeration and random transaction-system generators."""
+
+from .interleavings import count_schedules, enumerate_schedules, random_schedule
+from .systems import (
+    corpus_initial_state,
+    fig2_proper_schedule,
+    fig2_system,
+    lock_wrap,
+    random_data_steps,
+    random_locked_system,
+)
+
+__all__ = [
+    "corpus_initial_state",
+    "count_schedules",
+    "enumerate_schedules",
+    "fig2_proper_schedule",
+    "fig2_system",
+    "lock_wrap",
+    "random_data_steps",
+    "random_locked_system",
+    "random_schedule",
+]

@@ -1,0 +1,93 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  The subclasses mirror the layers of
+the system: the schedule/transaction model, the locking policies, the
+verifier, and the concurrency simulator.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class ModelError(ReproError):
+    """Base class for errors in the core schedule/transaction model."""
+
+
+class MalformedTransactionError(ModelError):
+    """A transaction violates a structural rule of the model.
+
+    Examples: a locked transaction that reads an entity without holding a
+    lock, unlocks an entity it never locked, or locks the same entity twice
+    when the lock-once assumption is in force.
+    """
+
+
+class MalformedScheduleError(ModelError):
+    """A schedule is not a valid interleaving of its transactions.
+
+    Raised when events of one transaction appear out of order, when an event
+    references a step the transaction does not contain, or when two events
+    claim the same (transaction, step-index) slot.
+    """
+
+
+class ImproperScheduleError(ModelError):
+    """A schedule step is undefined in the structural state it executes in.
+
+    Corresponds to the paper's notion of a schedule that is *not proper*:
+    a READ/WRITE/DELETE on an absent entity or an INSERT of a present one.
+    """
+
+
+class IllegalScheduleError(ModelError):
+    """Two transactions hold conflicting locks at the same time.
+
+    Corresponds to the paper's notion of a schedule that is *not legal*.
+    """
+
+
+class PolicyError(ReproError):
+    """Base class for locking-policy errors."""
+
+
+class PolicyViolation(PolicyError):
+    """An operation would violate a rule of the active locking policy.
+
+    The ``rule`` attribute names the violated rule using the paper's
+    identifiers (e.g. ``"L5"`` for the DDAG predecessor rule, ``"AL2"`` for
+    the altruistic wake rule, ``"DT3"`` for dynamic-tree deletion).
+    """
+
+    def __init__(self, rule: str, message: str):
+        super().__init__(f"[{rule}] {message}")
+        self.rule = rule
+        self.message = message
+
+
+class VerificationError(ReproError):
+    """The verifier was asked an ill-posed question or hit its search bound."""
+
+
+class SearchBudgetExceeded(VerificationError):
+    """An exhaustive search exceeded its configured node budget."""
+
+    def __init__(self, budget: int):
+        super().__init__(f"search exceeded its node budget of {budget}")
+        self.budget = budget
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the concurrency simulator."""
+
+
+class DeadlockError(SimulationError):
+    """The simulator detected a deadlock and no resolution was configured."""
+
+    def __init__(self, cycle):
+        names = " -> ".join(str(t) for t in cycle)
+        super().__init__(f"deadlock cycle: {names}")
+        self.cycle = tuple(cycle)

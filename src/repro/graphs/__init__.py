@@ -1,0 +1,32 @@
+"""From-scratch graph substrate: digraphs, rooted DAGs, dominators, forests,
+and random generators for workloads."""
+
+from .dag import RootedDag, chain, diamond
+from .digraph import DiGraph, Edge, Node
+from .dominators import dominates, dominator_sets, immediate_dominators
+from .forest import Forest
+from .generators import (
+    layered_dag,
+    random_root_path,
+    random_rooted_dag,
+    random_subdag_walk,
+    random_tree,
+)
+
+__all__ = [
+    "DiGraph",
+    "Edge",
+    "Forest",
+    "Node",
+    "RootedDag",
+    "chain",
+    "diamond",
+    "dominates",
+    "dominator_sets",
+    "immediate_dominators",
+    "layered_dag",
+    "random_root_path",
+    "random_rooted_dag",
+    "random_subdag_walk",
+    "random_tree",
+]

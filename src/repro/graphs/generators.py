@@ -1,0 +1,151 @@
+"""Random graph generators for workloads and property tests.
+
+All generators take an explicit :class:`random.Random` (or a seed) so that
+every workload in the benchmark harness is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, Tuple, Union
+
+from .dag import RootedDag
+from .digraph import Node
+
+RandomLike = Union[int, random.Random, None]
+
+
+def _rng(seed: RandomLike) -> random.Random:
+    if isinstance(seed, random.Random):
+        return seed
+    return random.Random(seed)
+
+
+def random_rooted_dag(
+    num_nodes: int,
+    extra_edge_prob: float = 0.25,
+    seed: RandomLike = None,
+    node_offset: int = 1,
+) -> RootedDag:
+    """A random rooted DAG on nodes ``offset … offset+n-1``.
+
+    Construction guarantees the invariants: each node ``i > root`` gets one
+    parent drawn uniformly from the earlier nodes (making the graph rooted
+    and acyclic), then extra forward edges are added with probability
+    ``extra_edge_prob`` per candidate pair.
+    """
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    rng = _rng(seed)
+    nodes = list(range(node_offset, node_offset + num_nodes))
+    edges: List[Tuple[Node, Node]] = []
+    for i in range(1, num_nodes):
+        parent = nodes[rng.randrange(i)]
+        edges.append((parent, nodes[i]))
+    for i in range(num_nodes):
+        for j in range(i + 1, num_nodes):
+            if (nodes[i], nodes[j]) not in edges and rng.random() < extra_edge_prob:
+                edges.append((nodes[i], nodes[j]))
+    return RootedDag(nodes[0], edges)
+
+
+def random_tree(
+    num_nodes: int,
+    seed: RandomLike = None,
+    node_offset: int = 1,
+    max_children: Optional[int] = None,
+) -> RootedDag:
+    """A random rooted tree (a DAG where every non-root has one parent)."""
+    if num_nodes < 1:
+        raise ValueError("need at least one node")
+    rng = _rng(seed)
+    nodes = list(range(node_offset, node_offset + num_nodes))
+    edges: List[Tuple[Node, Node]] = []
+    child_count = {n: 0 for n in nodes}
+    for i in range(1, num_nodes):
+        candidates = [
+            n
+            for n in nodes[:i]
+            if max_children is None or child_count[n] < max_children
+        ]
+        parent = rng.choice(candidates)
+        child_count[parent] += 1
+        edges.append((parent, nodes[i]))
+    return RootedDag(nodes[0], edges)
+
+
+def layered_dag(
+    layers: Sequence[int],
+    density: float = 0.5,
+    seed: RandomLike = None,
+    node_offset: int = 1,
+) -> RootedDag:
+    """A layered rooted DAG: ``layers[k]`` nodes in layer ``k``; every node
+    in layer ``k+1`` receives at least one edge from layer ``k`` and extra
+    edges with probability ``density``.  Layer 0 must have a single node (the
+    root).  Layered DAGs model part-of hierarchies in the knowledge-base
+    workloads of the DDAG evaluation."""
+    if not layers or layers[0] != 1:
+        raise ValueError("layer 0 must contain exactly the root")
+    rng = _rng(seed)
+    next_id = node_offset
+    layer_nodes: List[List[int]] = []
+    for width in layers:
+        layer_nodes.append(list(range(next_id, next_id + width)))
+        next_id += width
+    edges: List[Tuple[Node, Node]] = []
+    for upper, lower in zip(layer_nodes, layer_nodes[1:]):
+        for node in lower:
+            parent = rng.choice(upper)
+            edges.append((parent, node))
+            for candidate in upper:
+                if candidate != parent and rng.random() < density:
+                    edges.append((candidate, node))
+    return RootedDag(layer_nodes[0][0], edges)
+
+
+def random_root_path(dag: RootedDag, seed: RandomLike = None) -> List[Node]:
+    """A random root-to-somewhere path — the shape of a traversal
+    transaction's access pattern."""
+    rng = _rng(seed)
+    path = [dag.root]
+    while True:
+        succ = sorted(dag.successors(path[-1]), key=repr)
+        if not succ or rng.random() < 0.25:
+            return path
+        path.append(rng.choice(succ))
+
+
+def random_subdag_walk(
+    dag: RootedDag, start: Node, length: int, seed: RandomLike = None
+) -> List[Node]:
+    """A DDAG-compatible access sequence: starts at ``start`` and repeatedly
+    moves to successors whose predecessors have all been visited (the L5
+    side-condition), visiting at most ``length`` nodes."""
+    rng = _rng(seed)
+    visited = [start]
+    visited_set = {start}
+    dominated = dag.descendants(start)
+    while len(visited) < length:
+        frontier = [
+            n
+            for v in visited
+            for n in dag.successors(v)
+            if n not in visited_set
+            and n in dominated
+            and all(p in visited_set for p in dag.predecessors(n) if p in dominated)
+        ]
+        # L5 requires *all* predecessors (in the whole graph) locked; nodes
+        # with predecessors outside the dominated region are unreachable to
+        # the policy, so exclude them.
+        frontier = [
+            n
+            for n in frontier
+            if all(p in visited_set for p in dag.predecessors(n))
+        ]
+        if not frontier:
+            break
+        nxt = rng.choice(sorted(frontier, key=repr))
+        visited.append(nxt)
+        visited_set.add(nxt)
+    return visited

@@ -1,0 +1,320 @@
+"""Altruistic locking — Section 5 of the paper [SGMS94].
+
+Designed for long-lived transactions: a transaction may *donate* (unlock)
+items it is finished with before reaching its **locked point** (the instant
+it acquires its last lock).  A transaction that picks up a donated item
+enters the donor's **wake** and is then confined to donated items until the
+donor reaches its locked point.  Rules (basic, exclusive-locks-only
+version):
+
+* **AL1** — lock an item before any INSERT/DELETE/ACCESS on it.
+* **AL2** — if ``T_i`` is in the wake of another active ``T_j``, then all
+  items locked by ``T_i`` so far must have been unlocked by ``T_j`` in the
+  past.
+* **AL3** — a transaction may lock an item only once.
+
+The online session enforces AL2 *prospectively*: before locking ``A`` it
+checks every active pre-locked-point donor ``T_j`` whose wake it is in (or
+would enter by taking ``A``); when the constraint fails the session WAITS
+until the donor reaches its locked point or finishes, at which point the
+wake dissolves ("Once T1 reaches its locked point … T2 is no longer in the
+wake of T1 and can lock any entity it needs" — Fig. 4).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.operations import LockMode, Operation
+from ..core.schedules import Schedule
+from ..core.steps import Entity, Step
+from ..exceptions import PolicyViolation
+from .base import (
+    Access,
+    Admission,
+    AdmissionResult,
+    DeleteNode,
+    InsertNode,
+    Intent,
+    LockingPolicy,
+    PolicyContext,
+    PolicySession,
+    PROCEED,
+    Read,
+    Write,
+    access_steps,
+)
+
+
+class AltruisticContext(PolicyContext):
+    """Shared wake bookkeeping across the active transactions."""
+
+    def __init__(self, donate_immediately: bool = True) -> None:
+        self.donate_immediately = donate_immediately
+        self.sessions: Dict[str, "AltruisticSession"] = {}
+
+    def begin(self, name: str, intents: Sequence[Intent]) -> "AltruisticSession":
+        session = AltruisticSession(
+            name, self, intents, donate_immediately=self.donate_immediately
+        )
+        self.sessions[name] = session
+        return session
+
+    def active_donors(self, exclude: str) -> List["AltruisticSession"]:
+        """Active transactions that have donated items and have not reached
+        their locked point — the ones whose wakes constrain others."""
+        return [
+            s
+            for n, s in self.sessions.items()
+            if n != exclude and s.donated and not s.reached_locked_point
+        ]
+
+
+class AltruisticSession(PolicySession):
+    """Online altruistic-locking state machine for one transaction.
+
+    ``donate_immediately`` unlocks each item as soon as its access is done
+    (maximal altruism); otherwise items are held to the end (degenerating to
+    2PL).  The locked point is computed from the intent script: after the
+    lock for the last distinct item is acquired, the transaction is
+    post-locked-point.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        context: AltruisticContext,
+        intents: Sequence[Intent],
+        donate_immediately: bool = True,
+    ):
+        super().__init__(name)
+        self.context = context
+        self.intents = list(intents)
+        self.donate_immediately = donate_immediately
+        self.cursor = 0
+        self.queue: List[Step] = []
+        self.locked_past: Set[Entity] = set()
+        self.held: Set[Entity] = set()
+        self.donated: Set[Entity] = set()
+        self._structural = False
+        self._draining = False
+        # Distinct items in first-use order determine the locked point.
+        self._items: List[Entity] = []
+        for intent in self.intents:
+            for e in _intent_item(intent):
+                if e not in self._items:
+                    self._items.append(e)
+
+    # ------------------------------------------------------------------
+
+    @property
+    def reached_locked_point(self) -> bool:
+        """True once every distinct item of the script has been locked."""
+        return all(e in self.locked_past for e in self._items)
+
+    def in_wake_of(self, donor: "AltruisticSession") -> bool:
+        """Has this transaction locked an item donated by ``donor`` while
+        ``donor`` is pre-locked-point?  (The wake definition of §5.)"""
+        return bool(self.locked_past & donor.donated) and not donor.reached_locked_point
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+
+    def _expand(self, intent: Intent) -> List[Step]:
+        steps: List[Step] = []
+
+        def lock(entity: Entity) -> None:
+            if entity in self.held:
+                return
+            if entity in self.locked_past:
+                raise PolicyViolation(
+                    "AL3", f"{self.name} would lock {entity!r} twice"
+                )
+            steps.append(Step(Operation.LOCK_EXCLUSIVE, entity))
+
+        def maybe_donate(entity: Entity) -> None:
+            if self.donate_immediately and not _needed_later(
+                self.intents, self.cursor, entity
+            ):
+                steps.append(Step(Operation.UNLOCK_EXCLUSIVE, entity))
+
+        if isinstance(intent, Access):
+            lock(intent.entity)
+            steps.extend(access_steps(intent.entity))
+            maybe_donate(intent.entity)
+        elif isinstance(intent, Read):
+            lock(intent.entity)
+            steps.append(Step(Operation.READ, intent.entity))
+            maybe_donate(intent.entity)
+        elif isinstance(intent, Write):
+            lock(intent.entity)
+            steps.append(Step(Operation.WRITE, intent.entity))
+            maybe_donate(intent.entity)
+        elif isinstance(intent, InsertNode):
+            lock(intent.node)
+            steps.append(Step(Operation.INSERT, intent.node))
+            maybe_donate(intent.node)
+        elif isinstance(intent, DeleteNode):
+            lock(intent.node)
+            steps.append(Step(Operation.DELETE, intent.node))
+            maybe_donate(intent.node)
+        else:
+            raise PolicyViolation("AL1", f"unsupported intent {intent!r}")
+        return steps
+
+    # ------------------------------------------------------------------
+    # PolicySession protocol
+    # ------------------------------------------------------------------
+
+    def peek(self) -> Optional[Step]:
+        while not self.queue:
+            if self.cursor >= len(self.intents):
+                if not self._draining:
+                    self._draining = True
+                    self.queue.extend(
+                        Step(Operation.UNLOCK_EXCLUSIVE, e)
+                        for e in sorted(self.held, key=repr)
+                    )
+                    continue
+                return None
+            intent = self.intents[self.cursor]
+            self.cursor += 1
+            self.queue.extend(self._expand(intent))
+        return self.queue[0]
+
+    def admission(self) -> AdmissionResult:
+        """AL2 enforcement for the pending lock step."""
+        step = self.queue[0] if self.queue else None
+        if step is None or not step.is_lock:
+            return PROCEED
+        entity = step.entity
+        blockers: List[str] = []
+        after = self.locked_past | {entity}
+        for donor in self.context.active_donors(exclude=self.name):
+            if after & donor.donated and not after.issubset(donor.donated):
+                # Taking this lock would put us (or keep us) in donor's wake
+                # while holding/wanting non-donated items: AL2 forbids it
+                # until the donor reaches its locked point.
+                blockers.append(donor.name)
+        if blockers:
+            return AdmissionResult(Admission.WAIT, waiting_on=tuple(blockers))
+        return PROCEED
+
+    def executed(self) -> None:
+        step = self.queue.pop(0)
+        if step.is_lock:
+            self.locked_past.add(step.entity)
+            self.held.add(step.entity)
+        elif step.is_unlock:
+            self.held.discard(step.entity)
+            if not self.reached_locked_point:
+                self.donated.add(step.entity)
+        elif step.op.is_structural:
+            self._structural = True
+
+    def on_commit(self) -> None:
+        self.context.sessions.pop(self.name, None)
+
+    def on_abort(self) -> None:
+        self.context.sessions.pop(self.name, None)
+
+    @property
+    def has_structural_effects(self) -> bool:
+        return self._structural
+
+
+def _intent_item(intent: Intent) -> Tuple[Entity, ...]:
+    if isinstance(intent, (Access, Read, Write)):
+        return (intent.entity,)
+    if isinstance(intent, InsertNode):
+        return (intent.node,)
+    if isinstance(intent, DeleteNode):
+        return (intent.node,)
+    return ()
+
+
+def _needed_later(intents: Sequence[Intent], cursor: int, entity: Entity) -> bool:
+    return any(entity in _intent_item(i) for i in intents[cursor:])
+
+
+class AltruisticPolicy(LockingPolicy):
+    """Factory for altruistic-locking runs."""
+
+    name = "Altruistic"
+    modes = (LockMode.EXCLUSIVE,)
+
+    def __init__(self, donate_immediately: bool = True):
+        self.donate_immediately = donate_immediately
+
+    def create_context(self, **kwargs) -> AltruisticContext:
+        return AltruisticContext(donate_immediately=self.donate_immediately)
+
+
+# ----------------------------------------------------------------------
+# Offline rule checker
+# ----------------------------------------------------------------------
+
+
+def check_altruistic_schedule(schedule: Schedule) -> List[str]:
+    """Verify a recorded schedule against AL1–AL3.
+
+    Replays the events, tracking each transaction's lock history, donations,
+    locked points (computed from the *full* transactions, which the schedule
+    carries), and wake membership.  Returns violation descriptions.
+    """
+    violations: List[str] = []
+    locked_past: Dict[str, Set[Entity]] = {}
+    held: Dict[str, Set[Entity]] = {}
+    donated: Dict[str, Set[Entity]] = {}
+    # Locked point per transaction: index (within its own steps) of its last
+    # LOCK step; a transaction is pre-locked-point while its progress is at
+    # or before that index.
+    lock_points: Dict[str, Optional[int]] = {
+        name: txn.locked_point() for name, txn in schedule.transactions.items()
+    }
+    progress: Dict[str, int] = {name: 0 for name in schedule.transactions}
+
+    def pre_locked_point(name: str) -> bool:
+        point = lock_points[name]
+        return point is not None and progress[name] <= point
+
+    for pos, event in enumerate(schedule.events):
+        txn, step = event.txn, event.step
+        past = locked_past.setdefault(txn, set())
+        have = held.setdefault(txn, set())
+        gave = donated.setdefault(txn, set())
+        if step.is_lock:
+            if step.entity in past:
+                violations.append(
+                    f"event {pos}: {txn} locks {step.entity!r} twice (AL3)"
+                )
+            past.add(step.entity)
+            have.add(step.entity)
+            # AL2: check wake constraints against every other transaction
+            # that is still pre-locked-point and has donated items.
+            for other in schedule.transactions:
+                if other == txn or not pre_locked_point(other):
+                    continue
+                other_donated = donated.get(other, set())
+                if past & other_donated and not past.issubset(other_donated):
+                    outside = sorted(past - other_donated, key=repr)
+                    violations.append(
+                        f"event {pos}: {txn} is in the wake of {other} but "
+                        f"has locked non-donated items {outside} (AL2)"
+                    )
+        elif step.is_unlock:
+            if step.entity not in have:
+                violations.append(
+                    f"event {pos}: {txn} unlocks {step.entity!r} it does not hold"
+                )
+            have.discard(step.entity)
+            if pre_locked_point(txn):
+                gave.add(step.entity)
+        else:
+            if step.entity not in have:
+                violations.append(
+                    f"event {pos}: {txn} performs {step} without a lock (AL1)"
+                )
+        progress[txn] += 1
+    return violations

@@ -1,0 +1,254 @@
+"""Policy framework: how locking policies plug into schedules and the
+simulator.
+
+A *locking policy* in the paper is a relation ``P(T, T̄)`` between plain and
+locked transactions, computed **dynamically**: which locked transaction
+materialises depends on the structural state of the database when each step
+executes.  We realise this with three cooperating pieces:
+
+* :class:`LockingPolicy` — a factory describing the policy (name, lock modes
+  used) and creating per-run :class:`PolicyContext` objects.
+* :class:`PolicyContext` — the shared, policy-specific state of one
+  concurrent run (e.g. the DDAG database graph, the DTR database forest, the
+  altruistic wake bookkeeping).  It spawns one :class:`PolicySession` per
+  transaction.
+* :class:`PolicySession` — an online state machine that turns a sequence of
+  high-level *intents* (:class:`Access`, :class:`InsertNode`, …) into locked
+  steps, one at a time.  The simulator repeatedly asks for the pending step
+  (:meth:`PolicySession.peek`), checks the policy-level admission verdict
+  (:meth:`PolicySession.admission`), acquires locks through its lock manager,
+  and confirms execution (:meth:`PolicySession.executed`).
+
+Sessions *recompute* their pending step against the present shared state,
+which is exactly how the paper's rules ("the present state of G" in rule L5)
+behave; a step that was fine when planned can become inadmissible by the
+time it runs, forcing a wait or an abort (the paper's Fig. 3 scenario).
+"""
+
+from __future__ import annotations
+
+import enum
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..core.operations import LockMode
+from ..core.steps import Entity, Step
+
+
+# ----------------------------------------------------------------------
+# Intents: the high-level operations a transaction wants to perform.
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Access:
+    """The paper's ACCESS: a READ immediately followed by a WRITE of one
+    entity (Sections 4 and 5 define transactions in terms of it)."""
+
+    entity: Entity
+
+
+@dataclass(frozen=True)
+class Read:
+    """A plain READ (used by policies that support shared locks)."""
+
+    entity: Entity
+
+
+@dataclass(frozen=True)
+class Write:
+    """A plain WRITE."""
+
+    entity: Entity
+
+
+@dataclass(frozen=True)
+class InsertNode:
+    """Insert a node into the database graph, wired under ``parents``.
+
+    Inserting the node inserts the node entity and one edge entity per
+    parent (DDAG models both nodes and edges as lockable entities).
+    """
+
+    node: Entity
+    parents: Tuple[Entity, ...] = ()
+
+
+@dataclass(frozen=True)
+class DeleteNode:
+    """Delete a node (and, for DDAG, its incident edge entities)."""
+
+    node: Entity
+
+
+@dataclass(frozen=True)
+class InsertEdge:
+    """Insert edge ``(u, v)`` into the database graph."""
+
+    u: Entity
+    v: Entity
+
+
+@dataclass(frozen=True)
+class DeleteEdge:
+    """Delete edge ``(u, v)`` from the database graph."""
+
+    u: Entity
+    v: Entity
+
+
+Intent = Union[Access, Read, Write, InsertNode, DeleteNode, InsertEdge, DeleteEdge]
+
+
+def edge_entity(u: Entity, v: Entity) -> Tuple[str, Entity, Entity]:
+    """The lockable entity representing edge ``(u, v)``."""
+    return ("edge", u, v)
+
+
+def intent_entities(intent: Intent) -> Tuple[Entity, ...]:
+    """The entities an intent touches (nodes only; edges expand to their
+    endpoints plus the edge entity in the policies that need it)."""
+    if isinstance(intent, (Access, Read, Write)):
+        return (intent.entity,)
+    if isinstance(intent, InsertNode):
+        return (intent.node, *intent.parents)
+    if isinstance(intent, DeleteNode):
+        return (intent.node,)
+    if isinstance(intent, (InsertEdge, DeleteEdge)):
+        return (intent.u, intent.v)
+    raise TypeError(f"unknown intent {intent!r}")
+
+
+# ----------------------------------------------------------------------
+# Sessions
+# ----------------------------------------------------------------------
+
+
+class Admission(enum.Enum):
+    """Policy-level verdict for the pending step."""
+
+    PROCEED = "proceed"
+    WAIT = "wait"
+    ABORT = "abort"
+
+
+@dataclass
+class AdmissionResult:
+    verdict: Admission
+    #: For WAIT: the transactions being waited on (policy-level waits-for
+    #: edges, merged with lock waits for deadlock detection).
+    waiting_on: Tuple[str, ...] = ()
+    #: For ABORT: the violated rule and explanation.
+    reason: Optional[str] = None
+
+
+PROCEED = AdmissionResult(Admission.PROCEED)
+
+
+class PolicySession(ABC):
+    """Per-transaction state machine producing locked steps."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    @abstractmethod
+    def peek(self) -> Optional[Step]:
+        """The next step this transaction wants to execute, or ``None`` when
+        it has finished all its intents (ready to commit)."""
+
+    @abstractmethod
+    def executed(self) -> None:
+        """Confirm that the step returned by :meth:`peek` was executed;
+        advance the state machine and update shared context state."""
+
+    def admission(self) -> AdmissionResult:
+        """Policy-level admission check for the pending step against the
+        *present* shared state.  Default: always proceed."""
+        return PROCEED
+
+    def on_commit(self) -> None:
+        """Called when the transaction finishes (all intents executed)."""
+
+    def on_abort(self) -> None:
+        """Called when the transaction is aborted; must release any shared
+        context bookkeeping (lock release is the simulator's job)."""
+
+    @property
+    def has_structural_effects(self) -> bool:
+        """Whether the session has already executed INSERT/DELETE steps
+        (used to pick abort victims that are cheap to erase)."""
+        return False
+
+
+class PolicyContext(ABC):
+    """Shared state of one concurrent run under a policy."""
+
+    @abstractmethod
+    def begin(self, name: str, intents: Sequence[Intent]) -> PolicySession:
+        """Start a transaction with the given intent script."""
+
+    def entities(self) -> Iterable[Entity]:
+        """The entities currently known to the context (for properness
+        bookkeeping in the simulator); override where meaningful."""
+        return ()
+
+
+class LockingPolicy(ABC):
+    """Factory + metadata for one locking policy."""
+
+    #: Human-readable policy name (used in reports and benchmarks).
+    name: str = "abstract"
+    #: Lock modes the policy may request.
+    modes: Tuple[LockMode, ...] = (LockMode.EXCLUSIVE,)
+
+    @abstractmethod
+    def create_context(self, **kwargs) -> PolicyContext:
+        """Create the shared state for one run (e.g. the database graph)."""
+
+
+# ----------------------------------------------------------------------
+# Helpers shared by concrete policies
+# ----------------------------------------------------------------------
+
+
+def access_steps(entity: Entity) -> Tuple[Step, ...]:
+    """The data steps of one ACCESS: ``(R e) (W e)``."""
+    from ..core.operations import Operation
+
+    return (Step(Operation.READ, entity), Step(Operation.WRITE, entity))
+
+
+class ScriptedSession(PolicySession):
+    """A session that plays a precomputed list of steps, re-planning nothing.
+
+    Used by policies whose locked transaction can be computed up front (the
+    DTR policy precomputes the locked transaction when the transaction
+    begins — Section 6 notes this explicitly — and strict 2PL needs no
+    dynamic decisions either).
+    """
+
+    def __init__(self, name: str, steps: Sequence[Step]):
+        super().__init__(name)
+        self._steps: List[Step] = list(steps)
+        self._cursor = 0
+        self._structural = False
+
+    def peek(self) -> Optional[Step]:
+        if self._cursor >= len(self._steps):
+            return None
+        return self._steps[self._cursor]
+
+    def executed(self) -> None:
+        step = self._steps[self._cursor]
+        if step.op.is_structural:
+            self._structural = True
+        self._cursor += 1
+
+    @property
+    def has_structural_effects(self) -> bool:
+        return self._structural
+
+    @property
+    def remaining(self) -> int:
+        return len(self._steps) - self._cursor

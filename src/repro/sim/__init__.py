@@ -1,0 +1,40 @@
+"""Discrete-event concurrency simulator: the substitute for the paper's
+companion performance study [CHMS94]."""
+
+from .lock_table import LockTable
+from .metrics import Metrics, TxnRecord
+from .runner import CellResult, WorkloadFactory, format_table, run_cell
+from .scheduler import SimResult, Simulator, WorkloadItem
+from .workloads import (
+    dag_structural_state,
+    ddag_cone_intents,
+    ddag_restart_from_cone,
+    dynamic_traversal_workload,
+    fig3_dag,
+    fig3_workload,
+    long_transaction_workload,
+    random_access_workload,
+    traversal_workload,
+)
+
+__all__ = [
+    "CellResult",
+    "LockTable",
+    "Metrics",
+    "SimResult",
+    "Simulator",
+    "TxnRecord",
+    "WorkloadFactory",
+    "WorkloadItem",
+    "dag_structural_state",
+    "ddag_cone_intents",
+    "ddag_restart_from_cone",
+    "dynamic_traversal_workload",
+    "fig3_dag",
+    "fig3_workload",
+    "format_table",
+    "long_transaction_workload",
+    "random_access_workload",
+    "run_cell",
+    "traversal_workload",
+]

@@ -1,0 +1,81 @@
+"""The simulator's authoritative lock table.
+
+Tracks, per entity, which transactions hold which mode.  Grant rule: a
+request conflicts if any *other* transaction holds a mode that conflicts
+(only SHARED/SHARED is compatible).  The table does not queue — the
+scheduler retries blocked sessions — but it reports the holders blocking a
+request so the scheduler can build the waits-for graph for deadlock
+detection.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core.operations import LockMode
+from ..core.steps import Entity
+
+
+class LockTable:
+    """Entity -> {transaction: mode} with conflict queries."""
+
+    def __init__(self) -> None:
+        self._holders: Dict[Entity, Dict[str, LockMode]] = {}
+
+    def holders(self, entity: Entity) -> Dict[str, LockMode]:
+        return dict(self._holders.get(entity, {}))
+
+    def mode_held(self, txn: str, entity: Entity) -> Optional[LockMode]:
+        return self._holders.get(entity, {}).get(txn)
+
+    def blockers(self, txn: str, entity: Entity, mode: LockMode) -> List[str]:
+        """Other transactions holding conflicting modes on ``entity``."""
+        return [
+            other
+            for other, other_mode in self._holders.get(entity, {}).items()
+            if other != txn and mode.conflicts_with(other_mode)
+        ]
+
+    def grantable(self, txn: str, entity: Entity, mode: LockMode) -> bool:
+        return not self.blockers(txn, entity, mode)
+
+    def acquire(self, txn: str, entity: Entity, mode: LockMode) -> None:
+        """Record a grant.  The caller must have checked :meth:`grantable`."""
+        blockers = self.blockers(txn, entity, mode)
+        if blockers:
+            raise RuntimeError(
+                f"{txn} acquires {mode} on {entity!r} despite holders {blockers}"
+            )
+        current = self._holders.setdefault(entity, {})
+        prev = current.get(txn)
+        if prev is None or mode is LockMode.EXCLUSIVE:
+            current[txn] = mode
+
+    def release(self, txn: str, entity: Entity, mode: LockMode) -> None:
+        current = self._holders.get(entity, {})
+        if current.get(txn) is mode:
+            del current[txn]
+            if not current:
+                self._holders.pop(entity, None)
+
+    def release_all(self, txn: str) -> List[Tuple[Entity, LockMode]]:
+        """Release every lock of ``txn`` (abort path); returns what was
+        released."""
+        released: List[Tuple[Entity, LockMode]] = []
+        for entity in list(self._holders):
+            mode = self._holders[entity].pop(txn, None)
+            if mode is not None:
+                released.append((entity, mode))
+            if not self._holders[entity]:
+                del self._holders[entity]
+        return released
+
+    def held_by(self, txn: str) -> Dict[Entity, LockMode]:
+        return {
+            entity: modes[txn]
+            for entity, modes in self._holders.items()
+            if txn in modes
+        }
+
+    def locked_entities(self) -> FrozenSet[Entity]:
+        return frozenset(self._holders)

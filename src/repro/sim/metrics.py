@@ -1,0 +1,87 @@
+"""Metrics collected by the concurrency simulator.
+
+The performance benchmark (the substitute for the paper's companion
+evaluation [CHMS94]) reports these per policy/workload cell: throughput,
+blocking, aborts, and mean latency — the dimensions along which altruistic
+locking and DDAG claim improvements over 2PL for long/traversal
+transactions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class TxnRecord:
+    """Per-transaction lifecycle record."""
+
+    name: str
+    start_tick: int
+    end_tick: Optional[int] = None
+    committed: bool = False
+    restarts: int = 0
+    steps_executed: int = 0
+    blocked_ticks: int = 0
+
+    @property
+    def latency(self) -> Optional[int]:
+        if self.end_tick is None:
+            return None
+        return self.end_tick - self.start_tick
+
+
+@dataclass
+class Metrics:
+    """Aggregate counters for one simulation run."""
+
+    ticks: int = 0
+    events_executed: int = 0
+    committed: int = 0
+    aborted: int = 0
+    restarts: int = 0
+    deadlocks: int = 0
+    lock_wait_observations: int = 0
+    policy_wait_observations: int = 0
+    active_integral: int = 0
+    records: Dict[str, TxnRecord] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Committed transactions per tick."""
+        return self.committed / self.ticks if self.ticks else 0.0
+
+    @property
+    def mean_latency(self) -> float:
+        latencies = [
+            r.latency for r in self.records.values() if r.latency is not None and r.committed
+        ]
+        return sum(latencies) / len(latencies) if latencies else 0.0
+
+    @property
+    def mean_active(self) -> float:
+        """Average number of concurrently active transactions (the
+        'concurrency level' axis of the performance study)."""
+        return self.active_integral / self.ticks if self.ticks else 0.0
+
+    @property
+    def wait_fraction(self) -> float:
+        """Fraction of scheduling observations that found a session blocked
+        (lock waits plus policy waits)."""
+        total = self.lock_wait_observations + self.policy_wait_observations
+        denom = total + self.events_executed
+        return total / denom if denom else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "ticks": float(self.ticks),
+            "committed": float(self.committed),
+            "aborted": float(self.aborted),
+            "restarts": float(self.restarts),
+            "deadlocks": float(self.deadlocks),
+            "throughput": self.throughput,
+            "mean_latency": self.mean_latency,
+            "mean_active": self.mean_active,
+            "wait_fraction": self.wait_fraction,
+        }

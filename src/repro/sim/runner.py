@@ -1,0 +1,109 @@
+"""Experiment driver: run policy × workload grids and aggregate metrics.
+
+This is the harness behind the performance benchmark (the simulated
+substitute for [CHMS94]).  Each cell runs several seeds and averages the
+metric summaries; results come back as plain dict rows so the benches can
+print paper-style tables without any plotting dependencies.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..core.serializability import is_serializable
+from ..core.states import StructuralState
+from ..exceptions import SimulationError
+from ..policies.base import LockingPolicy
+from .scheduler import SimResult, Simulator, WorkloadItem
+
+#: A workload factory: seed -> (items, initial structural state).
+WorkloadFactory = Callable[[int], Tuple[Sequence[WorkloadItem], StructuralState]]
+
+
+@dataclass
+class CellResult:
+    """Aggregated metrics for one (policy, workload) cell."""
+
+    policy: str
+    workload: str
+    runs: int
+    failures: int
+    means: Dict[str, float]
+    stdevs: Dict[str, float]
+    all_serializable: bool
+
+    def row(self) -> Dict[str, object]:
+        out: Dict[str, object] = {
+            "policy": self.policy,
+            "workload": self.workload,
+            "runs": self.runs,
+            "failures": self.failures,
+            "serializable": self.all_serializable,
+        }
+        out.update({k: round(v, 4) for k, v in self.means.items()})
+        return out
+
+
+def run_cell(
+    policy: LockingPolicy,
+    workload_name: str,
+    factory: WorkloadFactory,
+    seeds: Sequence[int],
+    context_kwargs_factory: Optional[Callable[[int], dict]] = None,
+    max_ticks: int = 200_000,
+    check_serializability: bool = True,
+) -> CellResult:
+    """Run one policy over several seeded instances of a workload."""
+    summaries: List[Dict[str, float]] = []
+    failures = 0
+    all_srz = True
+    for seed in seeds:
+        items, initial = factory(seed)
+        kwargs = context_kwargs_factory(seed) if context_kwargs_factory else {}
+        sim = Simulator(policy, seed=seed, max_ticks=max_ticks, context_kwargs=kwargs)
+        try:
+            result = sim.run(items, initial)
+        except SimulationError:
+            failures += 1
+            continue
+        if check_serializability and not is_serializable(result.schedule):
+            all_srz = False
+        summaries.append(result.metrics.summary())
+    keys = summaries[0].keys() if summaries else []
+    means = {k: statistics.fmean(s[k] for s in summaries) for k in keys}
+    stdevs = {
+        k: (statistics.pstdev([s[k] for s in summaries]) if len(summaries) > 1 else 0.0)
+        for k in keys
+    }
+    return CellResult(
+        policy=policy.name,
+        workload=workload_name,
+        runs=len(summaries),
+        failures=failures,
+        means=means,
+        stdevs=stdevs,
+        all_serializable=all_srz,
+    )
+
+
+def format_table(rows: Sequence[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Monospace table used by the bench harness to print paper-style rows."""
+    widths = {c: len(c) for c in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for c in columns:
+            text = str(row.get(c, ""))
+            widths[c] = max(widths[c], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    header = " | ".join(c.ljust(widths[c]) for c in columns)
+    rule = "-+-".join("-" * widths[c] for c in columns)
+    lines = [header, rule]
+    for cells in rendered:
+        lines.append(
+            " | ".join(cell.ljust(widths[c]) for cell, c in zip(cells, columns))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,340 @@
+"""The concurrency simulator: executes transaction intents under a locking
+policy and records the resulting schedule.
+
+One *tick* executes one step of one randomly chosen runnable session, which
+yields fine-grained interleavings — the right granularity for exploring the
+schedule space of the safety property tests and for the performance shapes
+of the benchmark harness (blocking and concurrency differences between
+policies show up directly in tick counts).
+
+Scheduling loop per tick:
+
+1. commit sessions that have no pending step;
+2. classify the rest: runnable / lock-blocked / policy-blocked (WAIT) /
+   policy-violating (ABORT — e.g. DDAG rule L5 after a concurrent edge
+   insert, the paper's Fig. 3);
+3. if nothing is runnable, find a cycle in the waits-for graph (lock waits +
+   policy waits) and abort a victim, else the run has livelocked (an error);
+4. execute one step of one runnable session (uniformly at random, seeded).
+
+Aborted transactions release their locks, their recorded events are erased
+(no recovery theory in the paper — an aborted attempt "never happened"),
+and the transaction restarts with an intent script recomputed by the
+workload's restart strategy (by default, the same intents).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..core.operations import LockMode
+from ..core.schedules import Event, Schedule
+from ..core.states import StructuralState
+from ..core.steps import Entity, Step
+from ..core.transactions import Transaction
+from ..exceptions import PolicyViolation, SimulationError
+from ..policies.base import Admission, Intent, LockingPolicy, PolicyContext, PolicySession
+from .lock_table import LockTable
+from .metrics import Metrics, TxnRecord
+
+#: Recompute the intent script after an abort: (name, attempt, context) -> intents.
+RestartStrategy = Callable[[str, int, PolicyContext], Optional[Sequence[Intent]]]
+
+
+@dataclass
+class WorkloadItem:
+    """One transaction of a workload: a name, its intent script, an optional
+    restart strategy consulted after aborts, and an arrival time.
+
+    ``start_tick`` delays admission: the transaction's policy session is
+    created (and, for policies like DTR that plan at begin-time, planned)
+    only when the simulation clock reaches it.  Staggered arrivals are what
+    make the long-transaction scenarios meaningful — a short transaction
+    arriving *behind* a sweep experiences the blocking the policies differ
+    on."""
+
+    name: str
+    intents: Sequence[Intent]
+    restart: Optional[RestartStrategy] = None
+    start_tick: int = 0
+
+
+@dataclass
+class SimResult:
+    """Everything a run produced."""
+
+    schedule: Schedule
+    metrics: Metrics
+    committed: Tuple[str, ...]
+    aborted: Tuple[str, ...]
+    context: PolicyContext
+
+    @property
+    def ok(self) -> bool:
+        return not self.aborted
+
+
+@dataclass
+class _Live:
+    item: WorkloadItem
+    session: PolicySession
+    record: TxnRecord
+    attempt: int = 1
+    events: List[Event] = field(default_factory=list)
+    step_count: int = 0
+
+
+class Simulator:
+    """Run a workload under a policy; see the module docstring."""
+
+    def __init__(
+        self,
+        policy: LockingPolicy,
+        seed: int = 0,
+        max_ticks: int = 100_000,
+        max_restarts: int = 10,
+        context_kwargs: Optional[dict] = None,
+    ):
+        self.policy = policy
+        self.rng = random.Random(seed)
+        self.max_ticks = max_ticks
+        self.max_restarts = max_restarts
+        self.context_kwargs = dict(context_kwargs or {})
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self,
+        workload: Sequence[WorkloadItem],
+        initial: StructuralState = StructuralState.empty(),
+        validate: bool = True,
+    ) -> SimResult:
+        context = self.policy.create_context(**self.context_kwargs)
+        metrics = Metrics()
+        table = LockTable()
+        events: List[Event] = []
+        live: Dict[str, _Live] = {}
+        committed: List[str] = []
+        dropped: List[str] = []
+
+        pending: List[WorkloadItem] = sorted(
+            workload, key=lambda it: (it.start_tick, it.name)
+        )
+
+        def admit_arrivals() -> None:
+            while pending and pending[0].start_tick <= metrics.ticks:
+                item = pending.pop(0)
+                session = context.begin(item.name, item.intents)
+                record = TxnRecord(item.name, start_tick=metrics.ticks)
+                metrics.records[item.name] = record
+                live[item.name] = _Live(item, session, record)
+
+        admit_arrivals()
+
+        def erase(name: str) -> None:
+            events[:] = [e for e in events if e.txn != name]
+
+        def abort(victim: _Live, reason: str) -> None:
+            metrics.aborted += 1
+            victim.record.restarts += 1
+            victim.session.on_abort()
+            table.release_all(victim.item.name)
+            erase(victim.item.name)
+            name = victim.item.name
+            if victim.attempt > self.max_restarts:
+                del live[name]
+                dropped.append(name)
+                victim.record.end_tick = metrics.ticks
+                return
+            metrics.restarts += 1
+            intents: Optional[Sequence[Intent]] = victim.item.intents
+            if victim.item.restart is not None:
+                intents = victim.item.restart(name, victim.attempt, context)
+            if intents is None:
+                del live[name]
+                dropped.append(name)
+                victim.record.end_tick = metrics.ticks
+                return
+            try:
+                session = context.begin(name, intents)
+            except PolicyViolation:
+                del live[name]
+                dropped.append(name)
+                victim.record.end_tick = metrics.ticks
+                return
+            live[name] = _Live(
+                victim.item, session, victim.record, attempt=victim.attempt + 1
+            )
+
+        while live or pending:
+            if metrics.ticks >= self.max_ticks:
+                raise SimulationError(
+                    f"exceeded {self.max_ticks} ticks with "
+                    f"{sorted(live)} still active"
+                )
+            if not live and pending:
+                # Idle until the next arrival.
+                metrics.ticks = max(metrics.ticks, pending[0].start_tick)
+            metrics.ticks += 1
+            metrics.active_integral += len(live)
+            admit_arrivals()
+            if not live:
+                continue
+
+            # Phase 1: commits.
+            for name in list(live):
+                entry = live[name]
+                try:
+                    step = entry.session.peek()
+                except PolicyViolation as exc:
+                    abort(entry, str(exc))
+                    continue
+                if step is None:
+                    entry.session.on_commit()
+                    entry.record.committed = True
+                    entry.record.end_tick = metrics.ticks
+                    metrics.committed += 1
+                    committed.append(name)
+                    del live[name]
+            if not live:
+                continue  # next arrivals (if any) admit at the top
+
+            # Phase 2: classify.
+            runnable: List[_Live] = []
+            waits_for: Dict[str, Set[str]] = {}
+            aborts: List[Tuple[_Live, str]] = []
+            for name in sorted(live):
+                entry = live[name]
+                step = entry.session.peek()
+                assert step is not None
+                verdict = entry.session.admission()
+                if verdict.verdict is Admission.ABORT:
+                    aborts.append((entry, verdict.reason or "policy violation"))
+                    continue
+                if verdict.verdict is Admission.WAIT:
+                    metrics.policy_wait_observations += 1
+                    entry.record.blocked_ticks += 1
+                    waits_for.setdefault(name, set()).update(
+                        w for w in verdict.waiting_on if w in live
+                    )
+                    continue
+                mode = step.lock_mode
+                if step.is_lock and mode is not None:
+                    blockers = table.blockers(name, step.entity, mode)
+                    if blockers:
+                        metrics.lock_wait_observations += 1
+                        entry.record.blocked_ticks += 1
+                        waits_for.setdefault(name, set()).update(
+                            b for b in blockers if b in live
+                        )
+                        continue
+                runnable.append(entry)
+
+            for entry, reason in aborts:
+                abort(entry, reason)
+            if aborts:
+                continue
+
+            if not runnable:
+                victim_name = _pick_deadlock_victim(waits_for, live)
+                if victim_name is None:
+                    raise SimulationError(
+                        f"livelock: no runnable session and no waits-for cycle "
+                        f"among {sorted(live)}"
+                    )
+                metrics.deadlocks += 1
+                abort(live[victim_name], "deadlock victim")
+                continue
+
+            # Phase 3: execute one step.
+            entry = self.rng.choice(runnable)
+            step = entry.session.peek()
+            assert step is not None
+            name = entry.item.name
+            mode = step.lock_mode
+            if step.is_lock and mode is not None:
+                table.acquire(name, step.entity, mode)
+            elif step.is_unlock and mode is not None:
+                table.release(name, step.entity, mode)
+            events.append(Event(name, entry.step_count, step))
+            entry.step_count += 1
+            entry.session.executed()
+            metrics.events_executed += 1
+            entry.record.steps_executed += 1
+
+        schedule = _assemble(events)
+        if validate:
+            schedule.assert_legal()
+            schedule.assert_proper(initial)
+        return SimResult(
+            schedule=schedule,
+            metrics=metrics,
+            committed=tuple(committed),
+            aborted=tuple(dropped),
+            context=context,
+        )
+
+
+def _assemble(events: Sequence[Event]) -> Schedule:
+    """Build a Schedule from raw events, reconstructing each transaction from
+    its own event subsequence (erased aborts leave per-transaction gaps in
+    the recorded indices, so events are re-indexed)."""
+    steps_by_txn: Dict[str, List[Step]] = {}
+    reindexed: List[Event] = []
+    for e in events:
+        seq = steps_by_txn.setdefault(e.txn, [])
+        reindexed.append(Event(e.txn, len(seq), e.step))
+        seq.append(e.step)
+    txns = [Transaction(name, tuple(steps)) for name, steps in steps_by_txn.items()]
+    return Schedule(txns, reindexed)
+
+
+def _pick_deadlock_victim(
+    waits_for: Dict[str, Set[str]], live: Dict[str, _Live]
+) -> Optional[str]:
+    """Find a cycle in the waits-for graph; return its cheapest member
+    (prefer no structural effects, then fewest executed steps)."""
+    cycle = _find_cycle(waits_for)
+    if cycle is None:
+        return None
+    def cost(name: str) -> Tuple[int, int, str]:
+        entry = live[name]
+        return (
+            1 if entry.session.has_structural_effects else 0,
+            entry.step_count,
+            name,
+        )
+    return min(cycle, key=cost)
+
+
+def _find_cycle(graph: Dict[str, Set[str]]) -> Optional[List[str]]:
+    color: Dict[str, int] = {}
+    parent: Dict[str, Optional[str]] = {}
+
+    def dfs(node: str) -> Optional[List[str]]:
+        color[node] = 1
+        for nxt in sorted(graph.get(node, ())):
+            if color.get(nxt, 0) == 0:
+                parent[nxt] = node
+                found = dfs(nxt)
+                if found is not None:
+                    return found
+            elif color.get(nxt) == 1:
+                cycle = [node]
+                cur = node
+                while cur != nxt:
+                    cur = parent[cur]  # type: ignore[assignment]
+                    cycle.append(cur)
+                return cycle
+        color[node] = 2
+        return None
+
+    for node in sorted(graph):
+        if color.get(node, 0) == 0:
+            parent[node] = None
+            found = dfs(node)
+            if found is not None:
+                return found
+    return None

@@ -1,0 +1,5 @@
+"""Policy verification: dynamic (simulator-driven) and exact (Theorem 1)."""
+
+from .verifier import PolicyReport, RuleAuditor, verify_policy, verify_system
+
+__all__ = ["PolicyReport", "RuleAuditor", "verify_policy", "verify_system"]

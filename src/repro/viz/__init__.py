@@ -1,0 +1,19 @@
+"""Text rendering of schedules, conflict graphs, DAGs and forests."""
+
+from .ascii import (
+    render_conflict_graph,
+    render_dag,
+    render_forest,
+    render_lock_timeline,
+    render_schedule,
+    render_schedule_graph,
+)
+
+__all__ = [
+    "render_conflict_graph",
+    "render_dag",
+    "render_forest",
+    "render_lock_timeline",
+    "render_schedule",
+    "render_schedule_graph",
+]

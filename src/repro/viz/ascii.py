@@ -1,0 +1,96 @@
+"""ASCII rendering of schedules and graphs, in the style of the paper's
+figures.
+
+Schedules render as the two-row grids of Figs. 2–5 (one row per transaction,
+time left to right); serializability graphs as edge lists with marked
+sources/sinks (Fig. 1); DAGs and forests as indented trees.  Everything is
+pure text so benches and examples can print reproductions without plotting
+dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..core.schedules import Schedule
+from ..core.serializability import SerializabilityGraph, serializability_graph
+from ..graphs.dag import RootedDag
+from ..graphs.forest import Forest
+
+
+def render_schedule(schedule: Schedule, order: Optional[Sequence[str]] = None) -> str:
+    """Paper-style schedule figure (delegates to ``Schedule.format_rows``)."""
+    return schedule.format_rows(order)
+
+
+def render_conflict_graph(graph: SerializabilityGraph) -> str:
+    """Render ``D(S)`` with its sources and sinks marked — the information
+    Fig. 1 conveys about canonical schedules' shapes."""
+    lines = [f"D(S): nodes={sorted(graph.nodes, key=repr)}"]
+    for a, b in sorted(graph.edges, key=repr):
+        lines.append(f"  {a} --> {b}")
+    lines.append(f"  sources: {sorted(graph.sources(), key=repr)}")
+    lines.append(f"  sinks:   {sorted(graph.sinks(), key=repr)}")
+    return "\n".join(lines)
+
+
+def render_schedule_graph(schedule: Schedule) -> str:
+    """Shortcut: render the conflict graph of a schedule."""
+    return render_conflict_graph(serializability_graph(schedule))
+
+
+def render_dag(dag: RootedDag) -> str:
+    """Indented rendering of a rooted DAG.  Nodes with several parents appear
+    once per parent, with repeats marked ``*`` (DAG sharing)."""
+    lines: List[str] = []
+    seen: set = set()
+
+    def walk(node, depth: int) -> None:
+        marker = "*" if node in seen else ""
+        lines.append("  " * depth + f"{node}{marker}")
+        if node in seen:
+            return
+        seen.add(node)
+        for child in sorted(dag.successors(node), key=repr):
+            walk(child, depth + 1)
+
+    walk(dag.root, 0)
+    return "\n".join(lines)
+
+
+def render_forest(forest: Forest) -> str:
+    """Indented rendering of a database forest (one block per tree)."""
+    lines: List[str] = []
+
+    def walk(node, depth: int) -> None:
+        lines.append("  " * depth + str(node))
+        for child in sorted(forest.children(node), key=repr):
+            walk(child, depth + 1)
+
+    for root in sorted(forest.roots(), key=repr):
+        walk(root, 0)
+    return "\n".join(lines) if lines else "(empty forest)"
+
+
+def render_lock_timeline(schedule: Schedule) -> str:
+    """A per-entity timeline of lock holds: for each entity, the intervals
+    (by event index) during which each transaction held it.  Handy when
+    explaining why a schedule is or is not legal."""
+    intervals: Dict[object, List[str]] = {}
+    open_at: Dict[tuple, int] = {}
+    for pos, event in enumerate(schedule.events):
+        step = event.step
+        if step.is_lock:
+            open_at[(event.txn, step.entity)] = pos
+        elif step.is_unlock:
+            start = open_at.pop((event.txn, step.entity), None)
+            if start is not None:
+                intervals.setdefault(step.entity, []).append(
+                    f"{event.txn}[{start}..{pos}]"
+                )
+    for (txn, entity), start in sorted(open_at.items(), key=repr):
+        intervals.setdefault(entity, []).append(f"{txn}[{start}..end]")
+    lines = []
+    for entity in sorted(intervals, key=repr):
+        lines.append(f"{entity}: " + "  ".join(intervals[entity]))
+    return "\n".join(lines)

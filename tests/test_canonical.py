@@ -1,0 +1,124 @@
+"""Tests for canonical witnesses and the Theorem-1 witness search."""
+
+import pytest
+
+from repro import (
+    CanonicalWitness,
+    LockMode,
+    StructuralState,
+    find_canonical_witness,
+    is_serializable,
+)
+from repro.core.canonical import WitnessSearchStats
+
+#: The non-two-phase pair operates on pre-existing entities a and b.
+AB = StructuralState.of("a", "b")
+
+
+@pytest.fixture
+def unsafe_pair(nontwophase_pair):
+    return nontwophase_pair
+
+
+class TestWitnessChecking:
+    def _witness(self, txns, c, entity, lengths, mode=LockMode.EXCLUSIVE):
+        return CanonicalWitness(
+            transactions=tuple(txns),
+            c_index=c,
+            entity=entity,
+            lock_mode=mode,
+            prefix_lengths=lengths,
+        )
+
+    def test_valid_witness_for_classic_cycle(self, unsafe_pair):
+        t1, t2 = unsafe_pair
+        # The Only-If construction's witness: T_c = T1 with prefix
+        # (LX a)(W a)(UX a), pending (LX b); T2 runs in full (its unlock of b
+        # makes it the unique conflicting sink).  S' = T1' then T2.
+        witness = self._witness([t1, t2], 0, "b", {"T1": 3, "T2": 6})
+        assert witness.problems(AB) == []
+        assert witness.is_valid(AB)
+
+    def test_tc_must_not_be_sink(self, unsafe_pair):
+        t1, t2 = unsafe_pair
+        # With T2's prefix stopping before it touches entity a, the prefixes
+        # share no entity, so T'_c is (also) a sink: invalid.
+        witness = self._witness([t2, t1], 1, "b", {"T2": 3, "T1": 3})
+        problems = witness.problems(AB)
+        assert any("sink" in p for p in problems)
+
+    def test_condition1_rejects_two_phase_tc(self, simple_locked_pair):
+        t1, t2 = simple_locked_pair
+        witness = self._witness([t2, t1], 1, "a", {"T2": 3, "T1": 0})
+        problems = witness.problems()
+        assert problems  # T1 never unlocked before locking a
+
+    def test_condition2a_rejects_nonunlocking_sink(self, unsafe_pair):
+        t1, t2 = unsafe_pair
+        # T2 prefix of length 5 locks a but never unlocks b... prefix of
+        # length 2 holds b without unlocking: the sink check must fire.
+        witness = self._witness([t1, t2], 0, "b", {"T1": 3, "T2": 2})
+        problems = witness.problems(AB)
+        assert any("2a" in p or "sink" in p for p in problems)
+
+    def test_wrong_entity_rejected(self, unsafe_pair):
+        t1, t2 = unsafe_pair
+        witness = self._witness([t1, t2], 0, "zzz", {"T1": 3, "T2": 6})
+        assert witness.problems(AB)
+
+    def test_k_greater_than_one_required(self, unsafe_pair):
+        t1, _ = unsafe_pair
+        witness = self._witness([t1], 0, "b", {"T1": 3})
+        assert any("k > 1" in p for p in witness.problems(AB))
+
+    def test_realize_produces_nonserializable_completion(self, unsafe_pair):
+        t1, t2 = unsafe_pair
+        witness = self._witness([t1, t2], 0, "b", {"T1": 3, "T2": 6})
+        schedule = witness.realize(AB)
+        assert schedule.is_complete and schedule.is_legal()
+        assert schedule.is_proper(AB)
+        assert not is_serializable(schedule)
+
+    def test_describe_mentions_tc_and_graph(self, unsafe_pair):
+        t1, t2 = unsafe_pair
+        witness = self._witness([t1, t2], 0, "b", {"T1": 3, "T2": 6})
+        text = witness.describe()
+        assert "T_c = T1" in text and "D(S')" in text
+
+    def test_lock_step_accessor(self, unsafe_pair):
+        t1, t2 = unsafe_pair
+        witness = self._witness([t1, t2], 0, "b", {"T1": 3, "T2": 6})
+        step = witness.lock_step()
+        assert step.is_lock and step.entity == "b"
+
+
+class TestWitnessSearch:
+    def test_finds_witness_for_unsafe_pair(self, unsafe_pair):
+        witness = find_canonical_witness(unsafe_pair, AB)
+        assert witness is not None
+        assert witness.is_valid(AB)
+        assert witness.satisfies_exclusive_variant()
+
+    def test_no_witness_for_two_phase_system(self, simple_locked_pair):
+        assert find_canonical_witness(simple_locked_pair) is None
+
+    def test_no_witness_when_properness_blocks_cycle(self, unsafe_pair):
+        # From the empty database the pair cannot execute any data step, so
+        # the system is (vacuously) safe and no witness may be reported.
+        assert find_canonical_witness(unsafe_pair, StructuralState.empty()) is None
+
+    def test_finds_witness_for_fig2(self, fig2_txns):
+        witness = find_canonical_witness(fig2_txns)
+        assert witness is not None and witness.is_valid()
+        # Fig 2's point: the witness involves all three transactions —
+        # no two-transaction subsystem has any proper schedule.
+        assert len(witness.transactions) == 3
+
+    def test_stats_populated(self, unsafe_pair):
+        stats = WitnessSearchStats()
+        find_canonical_witness(unsafe_pair, AB, stats=stats)
+        assert stats.candidates_considered > 0
+
+    def test_max_partners_bound(self, fig2_txns):
+        # Fig 2 needs k = 3; with partners capped at 1 no witness exists.
+        assert find_canonical_witness(fig2_txns, max_partners=1) is None

@@ -1,0 +1,80 @@
+"""Tests for the completion search (condition 2b machinery)."""
+
+import pytest
+
+from repro import Schedule, StructuralState, Transaction, find_completion, is_completable
+from repro.exceptions import SearchBudgetExceeded
+
+
+class TestCompletion:
+    def test_empty_schedule_completes(self, simple_locked_pair):
+        s = Schedule(simple_locked_pair)
+        # With no transaction started the empty schedule is vacuously
+        # "complete" under the paper's subset semantics; require_all forces
+        # the full system to run.
+        done = find_completion(s, require_all=True)
+        assert done is not None and done.is_complete
+        assert done.is_legal() and done.is_proper()
+
+    def test_completion_extends_prefix(self, simple_locked_pair):
+        s = Schedule.from_order(simple_locked_pair, ["T1", "T1"])
+        done = find_completion(s)
+        assert done is not None
+        assert done.events[:2] == s.events
+
+    def test_impossible_properness(self):
+        t = Transaction.from_text("T", "(LX z) (W z) (UX z)")
+        s = Schedule([t]).extended_by_steps("T", 1)
+        # z never exists and nobody inserts it: no completion.
+        assert find_completion(s) is None
+
+    def test_cooperative_properness(self):
+        # T1 writes c, which only T3 inserts: the completion must start T3
+        # and order its insert before T1's lock of c.
+        t1 = Transaction.from_text("T1", "(LX d) (I d) (UX d) (LX c) (W c) (UX c)")
+        t3 = Transaction.from_text("T3", "(LX c) (I c) (UX c)")
+        s = Schedule([t1, t3]).extended_by_steps("T1", 3)
+        done = find_completion(s)
+        assert done is not None
+        evs = [str(e) for e in done.events]
+        assert evs.index("T3:(I c)") < evs.index("T1:(W c)")
+
+    def test_lock_deadlock_has_no_completion(self):
+        # T1 holds a and needs b; T2 holds b and needs a: the prefix where
+        # both hold their first lock cannot complete legally.
+        t1 = Transaction.from_text("T1", "(LX a) (LX b) (I a) (I b) (UX a) (UX b)")
+        t2 = Transaction.from_text("T2", "(LX b) (LX a) (I b) (I a) (UX b) (UX a)")
+        s = Schedule.from_order([t1, t2], ["T1", "T2"])
+        assert not is_completable(s)
+
+    def test_require_all_flag(self):
+        t1 = Transaction.from_text("T1", "(LX a) (I a) (UX a)")
+        t2 = Transaction.from_text("T2", "(LX z) (W z) (UX z)")  # never proper
+        s = Schedule([t1, t2]).extended_by_steps("T1", 1)
+        # Without require_all, T2 may stay unstarted.
+        assert is_completable(s, require_all=False)
+        assert not is_completable(s, require_all=True)
+
+    def test_budget_exceeded_raises(self):
+        txns = [
+            Transaction.from_text(f"T{i}", "(LX a) (R a) (UX a)") for i in range(6)
+        ]
+        # Rename entities apart so the state space is wide.
+        txns = [
+            Transaction.from_text(f"T{i}", f"(LX e{i}) (R e{i}) (UX e{i})")
+            for i in range(8)
+        ]
+        s = Schedule(txns)
+        with pytest.raises(SearchBudgetExceeded):
+            find_completion(
+                s,
+                StructuralState(frozenset({f"e{i}" for i in range(8)})),
+                budget=5,
+                require_all=True,
+            )
+
+    def test_initial_state_respected(self):
+        t = Transaction.from_text("T", "(LX a) (D a) (UX a)")
+        s = Schedule([t]).extended_by_steps("T", 1)
+        assert is_completable(s, StructuralState.of("a"))
+        assert not is_completable(s, StructuralState.empty())

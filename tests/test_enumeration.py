@@ -1,0 +1,111 @@
+"""Tests for schedule enumeration and the random-system generators."""
+
+import pytest
+
+from repro import Schedule, StructuralState, Transaction
+from repro.enumeration import (
+    corpus_initial_state,
+    count_schedules,
+    enumerate_schedules,
+    fig2_proper_schedule,
+    fig2_system,
+    lock_wrap,
+    random_data_steps,
+    random_locked_system,
+    random_schedule,
+)
+from repro.exceptions import SearchBudgetExceeded
+
+import math
+import random
+
+
+class TestEnumeration:
+    def test_counts_match_interleaving_formula_without_filters(self):
+        # Two disjoint transactions of lengths 3 and 3: C(6,3) = 20 orders.
+        t1 = Transaction.from_text("T1", "(LX a) (I a) (UX a)")
+        t2 = Transaction.from_text("T2", "(LX b) (I b) (UX b)")
+        n = count_schedules([t1, t2], legal_only=False, proper_only=False)
+        assert n == math.comb(6, 3)
+
+    def test_legality_prunes(self, simple_locked_pair):
+        free = count_schedules(simple_locked_pair, legal_only=False, proper_only=False)
+        legal = count_schedules(simple_locked_pair, legal_only=True, proper_only=False)
+        assert legal < free
+
+    def test_enumerate_yields_valid_schedules(self, simple_locked_pair):
+        for s in enumerate_schedules(simple_locked_pair):
+            assert s.is_complete
+            assert s.is_legal()
+            assert s.is_proper()
+
+    def test_enumerate_limit(self, simple_locked_pair):
+        out = list(enumerate_schedules(simple_locked_pair, limit=1))
+        assert len(out) == 1
+
+    def test_budget_guard(self):
+        txns = [
+            Transaction.from_text(f"T{i}", f"(LX e{i}) (I e{i}) (UX e{i})")
+            for i in range(7)
+        ]
+        with pytest.raises(SearchBudgetExceeded):
+            count_schedules(txns, budget=100)
+
+    def test_random_schedule_valid(self, simple_locked_pair):
+        s = random_schedule(simple_locked_pair, seed=5)
+        assert s is not None
+        assert s.is_complete and s.is_legal() and s.is_proper()
+
+    def test_random_schedule_none_when_impossible(self):
+        t = Transaction.from_text("T", "(LX z) (W z) (UX z)")
+        assert random_schedule([t], seed=0) is None
+
+
+class TestGenerators:
+    def test_lock_wrap_well_formed_all_styles(self):
+        rng = random.Random(1)
+        for style in ("2pl", "early", "chaotic"):
+            for seed in range(10):
+                rng = random.Random(seed)
+                data = random_data_steps(["a", "b", "c"], 4, rng)
+                txn = lock_wrap("T", data, style, rng)
+                assert txn.is_well_formed(), (style, seed, str(txn))
+                assert txn.locks_entity_at_most_once()
+                assert txn.unlocked_projection().steps == tuple(data)
+
+    def test_2pl_style_is_two_phase(self):
+        rng = random.Random(2)
+        data = random_data_steps(["a", "b"], 4, rng)
+        assert lock_wrap("T", data, "2pl", rng).is_two_phase()
+
+    def test_random_locked_system_deterministic(self):
+        a = random_locked_system(2, 2, 3, style="mixed", seed=7)
+        b = random_locked_system(2, 2, 3, style="mixed", seed=7)
+        assert [str(t) for t in a] == [str(t) for t in b]
+
+    def test_corpus_initial_state(self):
+        assert corpus_initial_state(3).entities == frozenset({"a", "b", "c"})
+
+
+class TestFig2System:
+    def test_sp_is_legal_proper_nonserializable(self, fig2_sp):
+        from repro import is_serializable
+
+        assert fig2_sp.is_legal()
+        assert fig2_sp.is_proper()
+        assert not is_serializable(fig2_sp)
+
+    def test_transactions_well_formed(self, fig2_txns):
+        for t in fig2_txns:
+            assert t.is_well_formed()
+            assert t.locks_entity_at_most_once()
+            assert not t.is_two_phase()  # condition 1 material
+
+    def test_no_proper_pair_schedules(self, fig2_txns):
+        # Every two-transaction subsystem is improper from the empty DB.
+        for i in range(3):
+            for j in range(3):
+                if i == j:
+                    continue
+                pair = [fig2_txns[i], fig2_txns[j]]
+                assert count_schedules(pair, legal_only=True, proper_only=True) == 0

@@ -1,0 +1,228 @@
+"""Tests for the graph substrate, cross-checked against networkx."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs import (
+    DiGraph,
+    Forest,
+    RootedDag,
+    chain,
+    diamond,
+    dominates,
+    dominator_sets,
+    immediate_dominators,
+    layered_dag,
+    random_rooted_dag,
+    random_subdag_walk,
+    random_tree,
+)
+
+
+class TestDiGraph:
+    def test_add_remove_nodes_edges(self):
+        g = DiGraph()
+        g.add_edge(1, 2)
+        g.add_edge(2, 3)
+        assert g.nodes() == {1, 2, 3}
+        assert g.has_edge(1, 2)
+        g.remove_edge(1, 2)
+        assert not g.has_edge(1, 2)
+        g.remove_node(2)
+        assert g.nodes() == {1, 3}
+
+    def test_remove_missing_edge_raises(self):
+        g = DiGraph(edges=[(1, 2)])
+        with pytest.raises(KeyError):
+            g.remove_edge(2, 1)
+
+    def test_degrees_roots_leaves(self):
+        g = DiGraph(edges=[(1, 2), (1, 3), (3, 4)])
+        assert g.out_degree(1) == 2 and g.in_degree(4) == 1
+        assert g.roots() == {1}
+        assert g.leaves() == {2, 4}
+
+    def test_reachability(self):
+        g = DiGraph(edges=[(1, 2), (2, 3), (4, 3)])
+        assert g.reachable_from(1) == {1, 2, 3}
+        assert g.reaching(3) == {1, 2, 3, 4}
+        assert g.has_path(1, 3) and not g.has_path(3, 1)
+
+    def test_acyclicity(self):
+        assert DiGraph(edges=[(1, 2), (2, 3)]).is_acyclic()
+        assert not DiGraph(edges=[(1, 2), (2, 1)]).is_acyclic()
+
+    def test_topological_order_agrees_with_networkx(self):
+        edges = [(1, 2), (1, 3), (2, 4), (3, 4), (4, 5)]
+        g = DiGraph(edges=edges)
+        order = g.topological_order()
+        nxg = nx.DiGraph(edges)
+        pos = {n: i for i, n in enumerate(order)}
+        for u, v in nxg.edges:
+            assert pos[u] < pos[v]
+
+    def test_copy_independent(self):
+        g = DiGraph(edges=[(1, 2)])
+        h = g.copy()
+        h.add_edge(2, 3)
+        assert not g.has_edge(2, 3)
+
+
+class TestDominators:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_dominator_sets_match_networkx(self, seed):
+        dag = random_rooted_dag(10, 0.3, seed=seed)
+        doms = dominator_sets(dag.graph, dag.root)
+        nxg = nx.DiGraph(list(dag.edges()))
+        nxg.add_nodes_from(dag.nodes())
+        idom = nx.immediate_dominators(nxg, dag.root)
+
+        def nx_dom_set(node):
+            out = {node}
+            while node != dag.root:
+                node = idom[node]
+                out.add(node)
+            return out
+
+        for node in dag.nodes():
+            assert doms[node] == nx_dom_set(node), f"node {node}"
+
+    def test_root_dominates_everything(self):
+        dag = diamond()
+        for node in dag.nodes():
+            assert dag.root in dominator_sets(dag.graph, dag.root)[node]
+
+    def test_dominates_definitional(self):
+        dag = diamond()  # 1 -> {2,3} -> 4
+        assert dominates(dag.graph, 1, 1, [2, 3, 4])
+        assert not dominates(dag.graph, 1, 2, [4])  # path 1-3-4 avoids 2
+        assert dominates(dag.graph, 1, 4, [4])
+
+    def test_immediate_dominators(self):
+        dag = diamond()
+        idom = immediate_dominators(dag.graph, 1)
+        assert idom[1] is None
+        assert idom[4] == 1  # both paths merge at the root
+
+
+class TestRootedDag:
+    def test_invariants_enforced(self):
+        with pytest.raises(ValueError, match="cycle"):
+            RootedDag(1, [(1, 2), (2, 1)])
+        with pytest.raises(ValueError, match="unreachable|predecessors"):
+            RootedDag(1, [(2, 3)])
+
+    def test_mutations(self):
+        dag = chain(3)  # 1->2->3
+        dag.insert_node(4, parents=[3])
+        assert 4 in dag
+        dag.insert_edge(1, 4)
+        assert dag.graph.has_edge(1, 4)
+        dag.delete_edge(1, 4)
+        dag.delete_node(4)
+        assert 4 not in dag
+
+    def test_cycle_inserting_edge_rejected(self):
+        dag = chain(3)
+        with pytest.raises(ValueError, match="cycle"):
+            dag.insert_edge(3, 1)
+
+    def test_cannot_delete_root(self):
+        with pytest.raises(ValueError):
+            chain(2).delete_node(1)
+
+    def test_ancestor_descendant_queries(self):
+        dag = diamond()
+        assert dag.is_ancestor(1, 4)
+        assert dag.descendants(2) == {2, 4}
+        assert dag.ancestors(4) == {1, 2, 3, 4}
+        assert dag.between(1, 4) == {1, 2, 3, 4}
+
+    def test_snapshot_isolation(self):
+        dag = chain(3)
+        snap = dag.snapshot()
+        dag.insert_node(9, parents=[3])
+        assert 9 not in snap
+
+
+class TestForest:
+    def test_build_and_query(self):
+        f = Forest()
+        f.add_root(1)
+        f.add_child(1, 2)
+        f.add_child(1, 3)
+        assert f.roots() == {1}
+        assert f.parent(2) == 1 and f.parent(1) is None
+        assert f.children(1) == {2, 3}
+        assert f.path_from_root(2) == [1, 2]
+        assert f.is_ancestor(1, 3)
+        assert f.descendants(1) == {1, 2, 3}
+
+    def test_join(self):
+        f = Forest()
+        f.add_root(1)
+        f.add_root(10)
+        f.add_child(10, 11)
+        f.join(1, 10)
+        assert f.roots() == {1}
+        assert f.root_of(11) == 1
+
+    def test_join_nonroot_rejected(self):
+        f = Forest()
+        f.add_root(1)
+        f.add_child(1, 2)
+        f.add_root(3)
+        with pytest.raises(ValueError):
+            f.join(3, 2)
+
+    def test_delete_promotes_children(self):
+        f = Forest()
+        f.add_root(1)
+        f.add_child(1, 2)
+        f.add_child(2, 3)
+        f.delete_node(2)
+        assert f.roots() == {1, 3}
+        assert f.parent(3) is None
+
+    def test_without_is_nondestructive(self):
+        f = Forest()
+        f.add_root(1)
+        f.add_child(1, 2)
+        g = f.without(2)
+        assert 2 in f and 2 not in g
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_rooted_dag_invariants(self, seed):
+        dag = random_rooted_dag(12, 0.3, seed=seed)
+        assert dag.invariant_violation() is None
+
+    def test_random_tree_every_node_one_parent(self):
+        dag = random_tree(10, seed=3)
+        for node in dag.nodes():
+            if node != dag.root:
+                assert len(dag.predecessors(node)) == 1
+
+    def test_layered_dag_shape(self):
+        dag = layered_dag([1, 3, 4], density=0.5, seed=1)
+        assert dag.invariant_violation() is None
+        assert len(dag.nodes()) == 8
+
+    def test_layered_dag_requires_single_root_layer(self):
+        with pytest.raises(ValueError):
+            layered_dag([2, 3])
+
+    def test_subdag_walk_respects_l5_shape(self):
+        dag = random_rooted_dag(10, 0.4, seed=7)
+        walk = random_subdag_walk(dag, dag.root, 6, seed=7)
+        visited = set()
+        for node in walk:
+            if visited:
+                assert all(p in visited for p in dag.predecessors(node))
+            visited.add(node)
+
+    def test_determinism(self):
+        a = random_rooted_dag(10, 0.3, seed=5)
+        b = random_rooted_dag(10, 0.3, seed=5)
+        assert a.edges() == b.edges()

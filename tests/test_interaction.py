@@ -1,0 +1,71 @@
+"""Tests for interaction graphs, chordless cycles, and the Fig. 2 refutation
+of the static chordless-cycle heuristic."""
+
+from repro import (
+    InteractionGraph,
+    StructuralState,
+    Transaction,
+    is_serializable,
+    static_chordless_heuristic,
+)
+from repro.core.safety import find_nonserializable_schedule
+from repro.enumeration import fig2_system
+
+AB = StructuralState.of("a", "b")
+
+
+class TestInteractionGraph:
+    def test_multiplicity_counts_conflicting_data_pairs(self):
+        t1 = Transaction.from_text("T1", "(LX a) (W a) (R a) (UX a)")
+        t2 = Transaction.from_text("T2", "(LX a) (W a) (UX a)")
+        g = InteractionGraph.of([t1, t2])
+        # data-step pairs only: (W,W), (W,R)... T1 has W,R on a; T2 has W:
+        # pairs (W a, W a) and (R a, W a) -> multiplicity 2.
+        assert g.multiplicity_of("T1", "T2") == 2
+
+    def test_disjoint_transactions_no_edge(self):
+        t1 = Transaction.from_text("T1", "(LX a) (W a) (UX a)")
+        t2 = Transaction.from_text("T2", "(LX b) (W b) (UX b)")
+        g = InteractionGraph.of([t1, t2])
+        assert g.multiplicity_of("T1", "T2") == 0
+        assert g.neighbours("T1") == frozenset()
+
+    def test_two_node_cycles(self, fig2_txns):
+        g = InteractionGraph.of(fig2_txns)
+        pairs = set(g.two_node_cycles())
+        assert pairs == {("T1", "T2"), ("T1", "T3"), ("T2", "T3")}
+
+    def test_fig2_chordless_cycles_are_two_node_only(self, fig2_txns):
+        # The paper: with a pair of edges between any two transactions, the
+        # only chordless cycles involve two nodes (parallel edges are chords
+        # of any longer cycle).
+        g = InteractionGraph.of(fig2_txns)
+        cycles = g.chordless_cycles()
+        assert cycles
+        assert all(len(c) == 2 for c in cycles)
+
+    def test_triangle_without_parallel_edges_is_chordless(self):
+        # Single-edge triangle: T1-T2 conflict on a; T2-T3 on b; T3-T1 on c.
+        t1 = Transaction.from_text("T1", "(LX a) (W a) (UX a) (LS c) (R c) (US c)")
+        t2 = Transaction.from_text("T2", "(LS a) (R a) (US a) (LX b) (W b) (UX b)")
+        t3 = Transaction.from_text("T3", "(LS b) (R b) (US b) (LX c) (W c) (UX c)")
+        g = InteractionGraph.of([t1, t2, t3])
+        assert g.multiplicity_of("T1", "T2") == 1
+        cycles = g.chordless_cycles()
+        assert any(len(c) == 3 for c in cycles)
+
+
+class TestStaticHeuristic:
+    def test_heuristic_wrongly_declares_fig2_safe(self, fig2_txns):
+        verdict = static_chordless_heuristic(fig2_txns)  # empty initial state
+        assert verdict.declared_safe  # the unsound part
+        assert verdict.counterexample is None
+        # ... while the sound decider finds the nonserializable schedule:
+        schedule = find_nonserializable_schedule(fig2_txns)
+        assert schedule is not None and not is_serializable(schedule)
+
+    def test_heuristic_catches_two_transaction_anomaly(self, nontwophase_pair):
+        # For a plain 2-cycle the chordless heuristic does work.
+        verdict = static_chordless_heuristic(nontwophase_pair, AB)
+        assert not verdict.declared_safe
+        assert verdict.counterexample is not None

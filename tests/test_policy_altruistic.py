@@ -1,0 +1,155 @@
+"""Tests for altruistic locking (rules AL1-AL3, Fig. 4, Theorem 3's claim)."""
+
+import pytest
+
+from repro.core import is_serializable
+from repro.policies import (
+    Access,
+    Admission,
+    AltruisticPolicy,
+    BrokenAltruisticPolicy,
+    check_altruistic_schedule,
+)
+from repro.sim import Simulator, WorkloadItem, long_transaction_workload, random_access_workload
+from repro.core.states import StructuralState
+
+
+def _step(session, n=1):
+    """peek+execute n steps (the simulator's calling convention)."""
+    for _ in range(n):
+        assert session.peek() is not None
+        session.executed()
+
+
+class TestWakeMechanics:
+    def test_donation_recorded_before_locked_point(self):
+        ctx = AltruisticPolicy().create_context()
+        session = ctx.begin("T1", [Access("a"), Access("b")])
+        # run through: lock a, access, donate a, lock b ...
+        while session.peek() is not None:
+            step = session.peek()
+            session.executed()
+            if step.is_unlock and step.entity == "a":
+                break
+        assert "a" in session.donated
+
+    def test_no_donation_after_locked_point(self):
+        ctx = AltruisticPolicy().create_context()
+        session = ctx.begin("T1", [Access("a")])
+        while session.peek() is not None:
+            session.executed()
+        # The unlock of the only item happens after the locked point.
+        assert session.donated == set()
+
+    def test_wake_blocks_non_donated_lock(self):
+        ctx = AltruisticPolicy().create_context()
+        donor = ctx.begin("LONG", [Access("a"), Access("b"), Access("c")])
+        # Donor: lock a, access a, donate a; stop pre-locked-point.
+        _step(donor, 4)
+        assert "a" in donor.donated and not donor.reached_locked_point
+        follower = ctx.begin("S", [Access("a"), Access("z")])
+        # Follower locks donated a: fine.
+        assert follower.peek() is not None
+        assert follower.admission().verdict is Admission.PROCEED
+        _step(follower, 4)  # LX a, R a, W a, UX a
+        # Now it wants z, which the donor never donated: AL2 -> WAIT.
+        step = follower.peek()
+        assert step.is_lock and step.entity == "z"
+        verdict = follower.admission()
+        assert verdict.verdict is Admission.WAIT
+        assert "LONG" in verdict.waiting_on
+
+    def test_wake_dissolves_at_locked_point(self):
+        ctx = AltruisticPolicy().create_context()
+        donor = ctx.begin("LONG", [Access("a"), Access("b")])
+        _step(donor, 4)
+        follower = ctx.begin("S", [Access("a"), Access("z")])
+        _step(follower, 4)
+        assert follower.peek() is not None
+        assert follower.admission().verdict is Admission.WAIT
+        # Let the donor reach its locked point (lock b).
+        while not donor.reached_locked_point:
+            _step(donor)
+        assert follower.admission().verdict is Admission.PROCEED
+
+
+class TestFig4:
+    def test_fig4_trace(self):
+        """T1 accesses entities 1,2,3 donating as it goes; T2 enters its wake
+        via entity 1, follows with entity 2, and locks entity 4 only after
+        T1's locked point."""
+        ctx = AltruisticPolicy().create_context()
+        init = StructuralState.of(1, 2, 3, 4)
+        items = [
+            WorkloadItem("T1", [Access(1), Access(2), Access(3)]),
+            WorkloadItem("T2", [Access(1), Access(2), Access(4)]),
+        ]
+        for seed in range(10):
+            result = Simulator(AltruisticPolicy(), seed=seed).run(items, init)
+            assert set(result.committed) == {"T1", "T2"}
+            assert is_serializable(result.schedule)
+            assert check_altruistic_schedule(result.schedule) == []
+
+
+class TestTheorem3Empirically:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_long_transaction_runs_serializable(self, seed):
+        items, init = long_transaction_workload(8, 3, seed=seed)
+        result = Simulator(AltruisticPolicy(), seed=seed).run(items, init)
+        assert is_serializable(result.schedule)
+        assert check_altruistic_schedule(result.schedule) == []
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_access_runs_serializable(self, seed):
+        items, init = random_access_workload(6, 5, 3, seed=seed)
+        result = Simulator(AltruisticPolicy(), seed=seed).run(items, init)
+        assert is_serializable(result.schedule)
+        assert check_altruistic_schedule(result.schedule) == []
+
+    def test_altruism_allows_following_in_wake(self):
+        # A short transaction whose whole access set is inside the donor's
+        # donated prefix can commit before the donor does.
+        items = [
+            WorkloadItem("LONG", [Access(f"e{i}") for i in range(6)]),
+            WorkloadItem("S", [Access("e0"), Access("e1")]),
+        ]
+        init = StructuralState(frozenset(f"e{i}" for i in range(6)))
+        overlapped = False
+        for seed in range(20):
+            result = Simulator(AltruisticPolicy(), seed=seed).run(items, init)
+            assert is_serializable(result.schedule)
+            names = list(result.committed)
+            if names and names[0] == "S":
+                overlapped = True
+        assert overlapped
+
+
+class TestNegativeControl:
+    def test_broken_al2_produces_nonserializable_run(self):
+        # Without AL2 a short transaction may slip between the donor's
+        # donated prefix and its still-locked tail, reversing orders.
+        items = [
+            WorkloadItem("LONG", [Access("a"), Access("b"), Access("c")]),
+            WorkloadItem("S", [Access("c"), Access("a")]),
+        ]
+        init = StructuralState.of("a", "b", "c")
+        bad = 0
+        for seed in range(60):
+            result = Simulator(BrokenAltruisticPolicy(), seed=seed).run(items, init)
+            if not is_serializable(result.schedule):
+                bad += 1
+        assert bad > 0
+
+    def test_checker_flags_broken_runs(self):
+        items = [
+            WorkloadItem("LONG", [Access("a"), Access("b"), Access("c")]),
+            WorkloadItem("S", [Access("c"), Access("a")]),
+        ]
+        init = StructuralState.of("a", "b", "c")
+        flagged = 0
+        for seed in range(60):
+            result = Simulator(BrokenAltruisticPolicy(), seed=seed).run(items, init)
+            if not is_serializable(result.schedule):
+                assert check_altruistic_schedule(result.schedule) != []
+                flagged += 1
+        assert flagged > 0

@@ -1,0 +1,121 @@
+"""Tests for the dynamic tree policy (rules DT0-DT3, Fig. 5, Theorem 4)."""
+
+import pytest
+
+from repro.core import is_serializable
+from repro.core.states import StructuralState
+from repro.policies import (
+    Access,
+    DtrPolicy,
+    check_dtr_schedule,
+    check_tree_locked,
+)
+from repro.sim import Simulator, WorkloadItem, random_access_workload
+
+
+def _init(*entities):
+    return StructuralState(frozenset(entities))
+
+
+class TestForestManagement:
+    def test_dt0_initially_empty(self):
+        ctx = DtrPolicy().create_context()
+        assert len(ctx.forest) == 0
+
+    def test_dt2_first_transaction_builds_tree(self):
+        ctx = DtrPolicy().create_context()
+        ctx.begin("T1", [Access(1), Access(2), Access(3)])
+        assert ctx.forest.nodes() == {1, 2, 3}
+        assert len(ctx.forest.roots()) == 1
+
+    def test_dt1_new_entity_joins_under_existing_root(self):
+        # Fig. 5: T2 accesses node 4 -> added to the forest under the root.
+        ctx = DtrPolicy().create_context()
+        ctx.begin("T1", [Access(1), Access(2), Access(3)])
+        root = next(iter(ctx.forest.roots()))
+        ctx.begin("T2", [Access(2), Access(4)])
+        assert 4 in ctx.forest
+        assert ctx.forest.root_of(4) == root
+        assert ctx.join_log if hasattr(ctx, "join_log") else True
+
+    def test_dt1_joins_separate_trees(self):
+        ctx = DtrPolicy().create_context()
+        ctx.begin("Ta", [Access("x")]).on_commit()
+        ctx.begin("Tb", [Access("y")]).on_commit()
+        # x and y may live in separate trees (or have been cleaned up);
+        # a transaction touching both forces a single tree.
+        ctx.begin("Tc", [Access("x"), Access("y")])
+        assert ctx.forest.same_tree("x", "y")
+
+    def test_dt3_cleanup_after_commit(self):
+        ctx = DtrPolicy().create_context()
+        s1 = ctx.begin("T1", [Access(1), Access(2)])
+        s2 = ctx.begin("T2", [Access(2), Access(4)])
+        # finish T2 -> node 4 no longer needed by any active plan
+        while s2.peek() is not None:
+            s2.executed()
+        s2.on_commit()
+        assert 4 not in ctx.forest  # deleted by DT3
+        # ...but 2 survives: T1's plan still needs it.
+        assert 2 in ctx.forest
+
+    def test_dt3_respects_active_plans(self):
+        ctx = DtrPolicy().create_context()
+        ctx.begin("T1", [Access(1), Access(2)])
+        assert not ctx.can_delete(1)
+        assert not ctx.can_delete(2)
+
+
+class TestTreeLocking:
+    def test_sessions_are_tree_locked(self):
+        ctx = DtrPolicy().create_context()
+        session = ctx.begin("T1", [Access(1), Access(2), Access(3)])
+        from repro.core.transactions import Transaction
+
+        txn = Transaction("T1", tuple(session._steps))
+        assert txn.is_well_formed()
+        assert check_tree_locked(txn, ctx.plan_parents["T1"]) == []
+
+    def test_lock_once(self):
+        ctx = DtrPolicy().create_context()
+        session = ctx.begin("T1", [Access(1), Access(2), Access(1)])
+        locked = [s.entity for s in session._steps if s.is_lock]
+        assert len(locked) == len(set(locked))
+
+    def test_checker_flags_parent_skips(self):
+        from repro.core.transactions import Transaction
+
+        txn = Transaction.from_text("T", "(LX 2) (W 2) (UX 2)")
+        # Pretend 2's parent is 1 and 2 is not the first lock of the plan...
+        txn2 = Transaction.from_text("T", "(LX 9) (UX 9) (LX 2) (W 2) (UX 2)")
+        violations = check_tree_locked(txn2, {9: None, 2: 1})
+        assert violations  # parent 1 never locked
+
+
+class TestTheorem4Empirically:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_runs_serializable(self, seed):
+        items, init = random_access_workload(6, 5, 3, seed=seed)
+        result = Simulator(DtrPolicy(), seed=seed).run(items, init)
+        assert is_serializable(result.schedule)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_hot_contention_serializable(self, seed):
+        items, init = random_access_workload(4, 6, 3, hot_fraction=0.5, seed=seed)
+        result = Simulator(DtrPolicy(), seed=seed).run(items, init)
+        assert is_serializable(result.schedule)
+
+    def test_fig5_scenario(self):
+        """T1 over {1,2,3}; T2 over {2,4}; T3 over {3,5}: forest grows by
+        DT1/DT2 and the extra nodes disappear after commits (DT3)."""
+        items = [
+            WorkloadItem("T1", [Access(1), Access(2), Access(3)]),
+            WorkloadItem("T2", [Access(2), Access(4)]),
+            WorkloadItem("T3", [Access(3), Access(5)]),
+        ]
+        init = _init(1, 2, 3, 4, 5)
+        result = Simulator(DtrPolicy(), seed=1).run(items, init)
+        assert set(result.committed) == {"T1", "T2", "T3"}
+        assert is_serializable(result.schedule)
+        ctx = result.context
+        assert len(ctx.forest) == 0 or ctx.delete_log  # cleanup happened

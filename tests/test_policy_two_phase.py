@@ -1,0 +1,81 @@
+"""Tests for the strict 2PL baseline policy."""
+
+import pytest
+
+from repro.core import is_serializable
+from repro.core.states import StructuralState
+from repro.policies import Access, InsertNode, Read, TwoPhasePolicy, Write
+from repro.sim import Simulator, WorkloadItem, random_access_workload
+
+
+class TestSessionShape:
+    def test_session_is_two_phase_and_well_formed(self):
+        ctx = TwoPhasePolicy().create_context()
+        session = ctx.begin("T1", [Access("a"), Read("b"), Write("c")])
+        steps = list(session._steps)
+        locks = [i for i, s in enumerate(steps) if s.is_lock]
+        unlocks = [i for i, s in enumerate(steps) if s.is_unlock]
+        assert max(locks) < min(unlocks)
+        # every data op covered
+        from repro.core.transactions import Transaction
+
+        txn = Transaction("T1", tuple(steps))
+        assert txn.is_well_formed()
+        assert txn.is_two_phase()
+
+    def test_shared_locks_only_when_enabled(self):
+        ctx = TwoPhasePolicy(use_shared_locks=True).create_context()
+        session = ctx.begin("T1", [Read("a"), Write("b")])
+        from repro.core.operations import Operation
+
+        steps = list(session._steps)
+        assert any(s.op is Operation.LOCK_SHARED and s.entity == "a" for s in steps)
+        assert any(s.op is Operation.LOCK_EXCLUSIVE and s.entity == "b" for s in steps)
+
+    def test_exclusive_only_by_default(self):
+        ctx = TwoPhasePolicy().create_context()
+        session = ctx.begin("T1", [Read("a")])
+        from repro.core.operations import Operation
+
+        assert all(
+            s.op is not Operation.LOCK_SHARED for s in session._steps
+        )
+
+    def test_insert_node_intent(self):
+        ctx = TwoPhasePolicy().create_context()
+        session = ctx.begin("T1", [Access("p"), InsertNode("n", parents=("p",))])
+        from repro.core.transactions import Transaction
+
+        txn = Transaction("T1", tuple(session._steps))
+        assert txn.is_well_formed()
+
+
+class TestRuns:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_runs_are_serializable(self, seed):
+        items, init = random_access_workload(5, 5, 3, seed=seed)
+        result = Simulator(TwoPhasePolicy(), seed=seed).run(items, init)
+        assert len(result.committed) == 5
+        assert is_serializable(result.schedule)
+
+    def test_deadlock_resolved_by_abort(self):
+        # T1 locks a then b; T2 locks b then a -- conservative 2PL acquires
+        # in first-use order, so opposite orders can deadlock; the simulator
+        # must abort one and still finish.
+        items = [
+            WorkloadItem("T1", [Access("a"), Access("b")]),
+            WorkloadItem("T2", [Access("b"), Access("a")]),
+        ]
+        init = StructuralState.of("a", "b")
+        found_deadlock = False
+        for seed in range(30):
+            result = Simulator(TwoPhasePolicy(), seed=seed).run(items, init)
+            assert is_serializable(result.schedule)
+            if result.metrics.deadlocks:
+                found_deadlock = True
+        assert found_deadlock
+
+    def test_hotspot_contention_still_serializable(self):
+        items, init = random_access_workload(4, 6, 3, hot_fraction=0.5, seed=9)
+        result = Simulator(TwoPhasePolicy(), seed=9).run(items, init)
+        assert is_serializable(result.schedule)

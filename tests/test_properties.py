@@ -1,0 +1,159 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These are the empirical counterparts of the paper's lemmas:
+
+* Lemma 1 — transposing adjacent non-conflicting steps of different
+  transactions preserves legality, properness, and ``D(S)``.
+* Lemma 2 — ``move(S, S', T')`` with ``T'`` a sink of ``D(S')`` preserves
+  legality, properness, and ``D(S)``.
+* 2PL safety — every legal proper schedule of two-phase transactions is
+  serializable (the condition-1 shortcut of Theorem 1).
+* Generator soundness — ``lock_wrap`` always yields well-formed, lock-once
+  transactions whose data projection is the input.
+"""
+
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import (
+    Schedule,
+    StructuralState,
+    is_serializable,
+    move,
+    serializability_graph,
+    transpose,
+)
+from repro.core.serializability import is_serializable_by_definition
+from repro.enumeration import (
+    corpus_initial_state,
+    lock_wrap,
+    random_data_steps,
+    random_locked_system,
+    random_schedule,
+)
+
+_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _system(seed: int, style: str, num_txns: int = 2):
+    return random_locked_system(
+        num_txns=num_txns, num_entities=3, steps_per_txn=3, style=style, seed=seed
+    )
+
+
+def _sample_schedule(seed: int, style: str, num_txns: int = 2):
+    txns = _system(seed, style, num_txns)
+    initial = corpus_initial_state(3)
+    schedule = random_schedule(txns, initial, seed=seed)
+    return schedule, initial
+
+
+@given(seed=st.integers(0, 10_000), style=st.sampled_from(["2pl", "early", "chaotic"]))
+@_SETTINGS
+def test_lemma1_transpose_preserves_everything(seed, style):
+    schedule, initial = _sample_schedule(seed, style)
+    if schedule is None:
+        return
+    g = serializability_graph(schedule)
+    for pos in range(len(schedule) - 1):
+        a, b = schedule.events[pos], schedule.events[pos + 1]
+        if a.txn == b.txn or a.conflicts_with(b):
+            continue
+        swapped = transpose(schedule, pos)
+        assert swapped.is_legal()
+        assert swapped.is_proper(initial)
+        assert serializability_graph(swapped).edges == g.edges
+
+
+@given(seed=st.integers(0, 10_000), style=st.sampled_from(["early", "chaotic"]))
+@_SETTINGS
+def test_lemma2_move_preserves_everything(seed, style):
+    schedule, initial = _sample_schedule(seed, style, num_txns=3)
+    if schedule is None:
+        return
+    g = serializability_graph(schedule)
+    for prefix_len in range(1, len(schedule) + 1):
+        prefix_graph = serializability_graph(schedule.prefix(prefix_len))
+        for sink in prefix_graph.sinks():
+            moved = move(schedule, prefix_len, sink)
+            assert moved.is_legal(), f"prefix {prefix_len}, sink {sink}"
+            assert moved.is_proper(initial)
+            assert serializability_graph(moved).edges == g.edges
+        break  # one prefix per example keeps runtime sane
+
+
+@given(seed=st.integers(0, 10_000))
+@_SETTINGS
+def test_two_phase_schedules_always_serializable(seed):
+    schedule, _ = _sample_schedule(seed, "2pl", num_txns=3)
+    if schedule is None:
+        return
+    assert is_serializable(schedule)
+
+
+@given(seed=st.integers(0, 10_000), style=st.sampled_from(["2pl", "early", "chaotic"]))
+@_SETTINGS
+def test_graph_serializability_matches_definition(seed, style):
+    schedule, _ = _sample_schedule(seed, style)
+    if schedule is None:
+        return
+    assert is_serializable(schedule) == is_serializable_by_definition(schedule)
+
+
+@given(
+    seed=st.integers(0, 10_000),
+    style=st.sampled_from(["2pl", "early", "chaotic"]),
+    length=st.integers(1, 6),
+    shared=st.booleans(),
+)
+@_SETTINGS
+def test_lock_wrap_always_well_formed(seed, style, length, shared):
+    rng = random.Random(seed)
+    data = random_data_steps(["a", "b", "c"], length, rng)
+    txn = lock_wrap("T", data, style, rng, use_shared=shared)
+    assert txn.is_well_formed()
+    assert txn.locks_entity_at_most_once()
+    assert txn.unlocked_projection().steps == tuple(data)
+    if style == "2pl":
+        assert txn.is_two_phase()
+
+
+@given(seed=st.integers(0, 10_000))
+@_SETTINGS
+def test_random_schedules_respect_filters(seed):
+    txns = _system(seed, "chaotic", num_txns=3)
+    initial = corpus_initial_state(3)
+    schedule = random_schedule(txns, initial, seed=seed)
+    if schedule is None:
+        return
+    assert schedule.is_complete
+    assert schedule.is_legal()
+    assert schedule.is_proper(initial)
+
+
+@given(seed=st.integers(0, 10_000))
+@_SETTINGS
+def test_structural_state_insert_delete_alternate(seed):
+    """Properness forces INSERT/DELETE alternation per entity, so the final
+    structural state depends only on the multiset of executed steps."""
+    schedule, initial = _sample_schedule(seed, "chaotic")
+    if schedule is None:
+        return
+    state = initial
+    present = {e: (e in initial) for e in ("a", "b", "c")}
+    for event in schedule.events:
+        step = event.step
+        if step.op.requires_absent:
+            assert not present.get(step.entity, False)
+            present[step.entity] = True
+        elif step.op.is_structural:
+            assert present.get(step.entity, False)
+            present[step.entity] = False
+        state = state.apply(step)
+    assert {e for e, p in present.items() if p} == set(state.entities)

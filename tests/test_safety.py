@@ -1,0 +1,117 @@
+"""Tests for the safety deciders and their Theorem-1 agreement."""
+
+import pytest
+
+from repro import (
+    StructuralState,
+    Transaction,
+    decide_safety,
+    find_nonserializable_schedule,
+    is_safe_bruteforce,
+    is_safe_canonical,
+    is_serializable,
+)
+from repro.core.safety import SearchStats
+from repro.enumeration import corpus_initial_state, fig2_system, random_locked_system
+
+#: The non-two-phase pair operates on pre-existing entities a and b.
+AB = StructuralState.of("a", "b")
+
+
+class TestBruteForce:
+    def test_two_phase_pair_is_safe(self, simple_locked_pair):
+        assert is_safe_bruteforce(simple_locked_pair)
+
+    def test_nontwophase_pair_is_unsafe(self, nontwophase_pair):
+        schedule = find_nonserializable_schedule(nontwophase_pair, AB)
+        assert schedule is not None
+        assert schedule.is_legal() and schedule.is_proper(AB)
+        assert not is_serializable(schedule)
+
+    def test_nontwophase_pair_safe_from_empty_state(self, nontwophase_pair):
+        # Properness can rescue safety: from the empty database no data step
+        # of the pair is ever defined, so no anomaly can materialise.
+        assert is_safe_bruteforce(nontwophase_pair, StructuralState.empty())
+
+    def test_fig2_is_unsafe(self, fig2_txns):
+        schedule = find_nonserializable_schedule(fig2_txns)
+        assert schedule is not None
+        assert not is_serializable(schedule)
+        # All three transactions participate (pairs are never proper).
+        assert set(schedule.active_transactions()) == {"T1", "T2", "T3"}
+
+    def test_fig2_pairs_are_vacuously_safe(self, fig2_txns):
+        for i in range(3):
+            for j in range(i + 1, 3):
+                assert is_safe_bruteforce([fig2_txns[i], fig2_txns[j]])
+
+    def test_stats_collected(self, nontwophase_pair):
+        stats = SearchStats()
+        find_nonserializable_schedule(nontwophase_pair, AB, stats=stats)
+        assert stats.nodes_explored > 0
+
+    def test_single_transaction_safe(self):
+        t = Transaction.from_text("T", "(LX a) (I a) (UX a)")
+        assert is_safe_bruteforce([t])
+
+
+class TestCanonicalDecider:
+    def test_agreement_on_safe_pair(self, simple_locked_pair):
+        assert is_safe_canonical(simple_locked_pair)
+
+    def test_agreement_on_unsafe_pair(self, nontwophase_pair):
+        assert not is_safe_canonical(nontwophase_pair, AB)
+
+    def test_decide_safety_verdict(self, nontwophase_pair):
+        verdict = decide_safety(nontwophase_pair, AB)
+        assert not verdict.safe
+        assert verdict.agree
+        assert verdict.schedule_witness is not None
+        assert verdict.canonical_witness is not None
+        assert verdict.canonical_witness.is_valid(AB)
+
+    def test_decide_safety_safe_system(self, simple_locked_pair):
+        verdict = decide_safety(simple_locked_pair)
+        assert verdict.safe and verdict.agree
+        assert verdict.schedule_witness is None
+        assert verdict.canonical_witness is None
+
+
+class TestTheorem1Corpus:
+    """The empirical Theorem-1 check over a deterministic corpus of random
+    systems: the two deciders must agree on every instance."""
+
+    @pytest.mark.parametrize("style", ["2pl", "early", "chaotic", "mixed"])
+    def test_decider_agreement(self, style):
+        disagreements = []
+        unsafe_seen = 0
+        for seed in range(12):
+            txns = random_locked_system(
+                num_txns=2, num_entities=2, steps_per_txn=2, style=style, seed=seed
+            )
+            verdict = decide_safety(txns, corpus_initial_state(2), budget=300_000)
+            if not verdict.agree:
+                disagreements.append((style, seed))
+            if not verdict.safe:
+                unsafe_seen += 1
+        assert not disagreements
+        if style == "2pl":
+            assert unsafe_seen == 0  # condition 1 can never fire
+
+    def test_unsafe_instances_exist_in_corpus(self):
+        # The corpus must exercise the unsafe path, otherwise the agreement
+        # test is vacuous.
+        unsafe = 0
+        for seed in range(12):
+            txns = random_locked_system(2, 2, 2, style="early", seed=seed)
+            if not is_safe_bruteforce(txns, corpus_initial_state(2), budget=300_000):
+                unsafe += 1
+        assert unsafe >= 1
+
+    def test_shared_lock_systems(self):
+        for seed in range(6):
+            txns = random_locked_system(
+                2, 2, 2, style="chaotic", seed=seed, use_shared=True
+            )
+            verdict = decide_safety(txns, corpus_initial_state(2), budget=300_000)
+            assert verdict.agree

@@ -1,0 +1,123 @@
+"""Unit tests for the serializability graph D(S) and equivalence tests."""
+
+import pytest
+
+from repro import Schedule, Transaction, is_serializable, serializability_graph
+from repro.core.serializability import (
+    SerializabilityGraph,
+    conflict_equivalent,
+    equivalent_serial_schedule,
+    is_serializable_by_definition,
+    serialization_order,
+)
+
+
+def _pair(order):
+    t1 = Transaction.from_text("T1", "(LX a) (W a) (UX a) (LX b) (W b) (UX b)")
+    t2 = Transaction.from_text("T2", "(LX b) (W b) (UX b) (LX a) (W a) (UX a)")
+    return Schedule.from_order([t1, t2], order)
+
+
+class TestGraph:
+    def test_serial_schedule_graph_is_acyclic(self):
+        s = _pair(["T1"] * 6 + ["T2"] * 6)
+        g = serializability_graph(s)
+        assert g.edges == {("T1", "T2")}
+        assert g.is_acyclic()
+
+    def test_cyclic_interleaving(self):
+        # T1 takes a, T2 takes b, then each needs the other's entity.
+        s = _pair(["T1", "T1", "T1", "T2", "T2", "T2", "T2", "T2", "T2", "T1", "T1", "T1"])
+        g = serializability_graph(s)
+        assert ("T1", "T2") in g.edges and ("T2", "T1") in g.edges
+        assert not g.is_acyclic()
+        assert not is_serializable(s)
+
+    def test_edge_witnesses_recorded(self):
+        s = _pair(["T1"] * 6 + ["T2"] * 6)
+        g = serializability_graph(s)
+        witness = g.witness_for(("T1", "T2"))
+        assert witness is not None
+        first, second = witness
+        assert first.txn == "T1" and second.txn == "T2"
+        assert first.step.conflicts_with(second.step)
+
+    def test_sources_sinks(self):
+        g = SerializabilityGraph(
+            frozenset({"A", "B", "C"}), frozenset({("A", "B"), ("B", "C")})
+        )
+        assert g.sources() == {"A"}
+        assert g.sinks() == {"C"}
+
+    def test_isolated_node_is_source_and_sink(self):
+        g = SerializabilityGraph(frozenset({"A", "B"}), frozenset())
+        assert g.sources() == {"A", "B"} == g.sinks()
+
+    def test_find_cycle_returns_closed_walk(self):
+        g = SerializabilityGraph(
+            frozenset("ABC"), frozenset({("A", "B"), ("B", "C"), ("C", "A")})
+        )
+        cycle = g.find_cycle()
+        assert cycle is not None
+        assert cycle[0] == cycle[-1]
+        assert set(cycle) <= {"A", "B", "C"}
+
+    def test_topological_sort(self):
+        g = SerializabilityGraph(
+            frozenset("ABC"), frozenset({("A", "B"), ("B", "C")})
+        )
+        assert g.topological_sort() == ["A", "B", "C"]
+
+    def test_topological_sort_cyclic_raises(self):
+        g = SerializabilityGraph(frozenset("AB"), frozenset({("A", "B"), ("B", "A")}))
+        with pytest.raises(ValueError):
+            g.topological_sort()
+
+    def test_all_topological_sorts(self):
+        g = SerializabilityGraph(frozenset("ABC"), frozenset({("A", "B")}))
+        sorts = g.all_topological_sorts()
+        assert ["A", "B", "C"] in sorts
+        assert ["C", "A", "B"] in sorts
+        assert all(s.index("A") < s.index("B") for s in sorts)
+
+    def test_inactive_transactions_excluded(self):
+        t1 = Transaction.from_text("T1", "(LX a) (W a) (UX a)")
+        t2 = Transaction.from_text("T2", "(LX a) (W a) (UX a)")
+        s = Schedule.from_order([t1, t2], ["T1"] * 3)
+        g = serializability_graph(s)
+        assert g.nodes == {"T1"}
+
+
+class TestEquivalence:
+    def test_serialization_order_of_serial(self):
+        s = _pair(["T2"] * 6 + ["T1"] * 6)
+        assert serialization_order(s) == ["T2", "T1"]
+
+    def test_equivalent_serial_schedule_is_equivalent(self):
+        # Same access order in both transactions: the pipelined interleaving
+        # is legal, proper, and conflict-equivalent to serial T1;T2.
+        t1 = Transaction.from_text("T1", "(LX a) (W a) (UX a) (LX b) (W b) (UX b)")
+        t2 = Transaction.from_text("T2", "(LX a) (W a) (UX a) (LX b) (W b) (UX b)")
+        s = Schedule.from_order(
+            [t1, t2],
+            ["T1", "T1", "T1", "T2", "T2", "T1", "T2", "T1", "T1", "T2", "T2", "T2"],
+        )
+        assert is_serializable(s)
+        serial = equivalent_serial_schedule(s)
+        assert serial.is_serial()
+        assert conflict_equivalent(s, serial)
+
+    def test_graph_test_agrees_with_definition(self):
+        orders = [
+            ["T1"] * 6 + ["T2"] * 6,
+            ["T1", "T1", "T1", "T2", "T2", "T2", "T2", "T2", "T2", "T1", "T1", "T1"],
+            ["T1", "T2", "T1", "T2", "T1", "T2", "T2", "T1", "T2", "T1", "T2", "T1"],
+        ]
+        for order in orders:
+            s = _pair(order)
+            assert is_serializable(s) == is_serializable_by_definition(s)
+
+    def test_conflict_equivalent_requires_same_events(self):
+        s1 = _pair(["T1"] * 6 + ["T2"] * 6)
+        s2 = _pair(["T1"] * 6 + ["T2"] * 6).prefix(6)
+        assert not conflict_equivalent(s1, s2)

@@ -1,0 +1,119 @@
+"""Unit tests for structural/value states (repro.core.states)."""
+
+import pytest
+
+from repro.core.operations import Operation
+from repro.core.states import (
+    DatabaseState,
+    StructuralState,
+    ValueState,
+    first_undefined_step,
+    is_defined_sequence,
+)
+from repro.core.steps import Step, parse_steps
+from repro.exceptions import ImproperScheduleError
+
+
+class TestStructuralState:
+    def test_empty(self):
+        g = StructuralState.empty()
+        assert len(g) == 0
+        assert "a" not in g
+
+    def test_of(self):
+        g = StructuralState.of("a", "b")
+        assert "a" in g and "b" in g and "c" not in g
+        assert len(g) == 2
+
+    def test_definedness_read_write_delete_need_presence(self):
+        g = StructuralState.of("a")
+        for op in (Operation.READ, Operation.WRITE, Operation.DELETE):
+            assert g.defines(Step(op, "a"))
+            assert not g.defines(Step(op, "b"))
+
+    def test_definedness_insert_needs_absence(self):
+        g = StructuralState.of("a")
+        assert not g.defines(Step(Operation.INSERT, "a"))
+        assert g.defines(Step(Operation.INSERT, "b"))
+
+    def test_lock_steps_always_defined(self):
+        g = StructuralState.empty()
+        # "Before inserting an entity a transaction must lock it even though
+        # it does not actually exist in the database."
+        assert g.defines(Step(Operation.LOCK_EXCLUSIVE, "ghost"))
+        assert g.defines(Step(Operation.UNLOCK_SHARED, "ghost"))
+
+    def test_apply_insert_delete(self):
+        g = StructuralState.empty()
+        g2 = g.apply(Step(Operation.INSERT, "a"))
+        assert "a" in g2 and "a" not in g  # immutability
+        g3 = g2.apply(Step(Operation.DELETE, "a"))
+        assert "a" not in g3
+
+    def test_apply_undefined_raises(self):
+        with pytest.raises(ImproperScheduleError):
+            StructuralState.empty().apply(Step(Operation.WRITE, "a"))
+
+    def test_apply_all_matches_paper_example(self):
+        # T1 prefix (I a)(I b) then T2 (R a)(D b)(I c): state is {a, c}.
+        steps = parse_steps("(I a) (I b) (R a) (D b) (I c)")
+        g = StructuralState.empty().apply_all(steps)
+        assert g.entities == frozenset({"a", "c"})
+
+    def test_trace_lists_intermediate_states(self):
+        steps = parse_steps("(I a) (D a)")
+        trace = StructuralState.empty().trace(steps)
+        assert [set(s.entities) for s in trace] == [set(), {"a"}, set()]
+
+    def test_is_defined_sequence(self):
+        good = parse_steps("(I a) (W a) (D a)")
+        bad = parse_steps("(I a) (D a) (W a)")
+        assert is_defined_sequence(good, StructuralState.empty())
+        assert not is_defined_sequence(bad, StructuralState.empty())
+
+    def test_first_undefined_step_locates_failure(self):
+        bad = parse_steps("(I a) (D a) (W a)")
+        found = first_undefined_step(bad, StructuralState.empty())
+        assert found is not None
+        pos, step, state = found
+        assert pos == 2 and step == Step(Operation.WRITE, "a")
+        assert "a" not in state
+
+
+class TestValueState:
+    def test_set_get_remove(self):
+        v = ValueState().set("a", 1).set("b", 2)
+        assert v.get("a") == 1 and v.get("b") == 2
+        assert v.remove("a").get("a") is None
+
+    def test_immutability(self):
+        v = ValueState().set("a", 1)
+        v2 = v.set("a", 2)
+        assert v.get("a") == 1 and v2.get("a") == 2
+
+    def test_from_mapping_roundtrip(self):
+        v = ValueState.from_mapping({"x": 10})
+        assert v.as_dict() == {"x": 10}
+
+
+class TestDatabaseState:
+    def test_insert_write_read_delete_cycle(self):
+        db = DatabaseState()
+        db.apply(Step(Operation.INSERT, "a"))
+        db.apply(Step(Operation.WRITE, "a"), value=42)
+        assert db.apply(Step(Operation.READ, "a")) == 42
+        db.apply(Step(Operation.DELETE, "a"))
+        assert "a" not in db.structure
+
+    def test_write_default_versions_are_distinct(self):
+        db = DatabaseState()
+        db.apply(Step(Operation.INSERT, "a"))
+        db.apply(Step(Operation.WRITE, "a"))
+        v1 = db.apply(Step(Operation.READ, "a"))
+        db.apply(Step(Operation.WRITE, "a"))
+        v2 = db.apply(Step(Operation.READ, "a"))
+        assert v1 != v2
+
+    def test_improper_apply_raises(self):
+        with pytest.raises(ImproperScheduleError):
+            DatabaseState().apply(Step(Operation.READ, "missing"))

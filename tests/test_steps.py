@@ -1,0 +1,88 @@
+"""Unit tests for steps and step parsing (repro.core.steps)."""
+
+import pytest
+
+from repro.core.operations import LX, R, UX, W, I, Operation
+from repro.core.steps import (
+    Step,
+    conflicting_pairs,
+    entities_of,
+    parse_step,
+    parse_steps,
+    step,
+    steps_conflict,
+)
+
+
+class TestStep:
+    def test_equality_structural(self):
+        assert Step(R, "a") == Step(R, "a")
+        assert Step(R, "a") != Step(W, "a")
+        assert Step(R, "a") != Step(R, "b")
+
+    def test_hashable(self):
+        assert len({Step(R, "a"), Step(R, "a"), Step(W, "a")}) == 2
+
+    def test_str_matches_paper_notation(self):
+        assert str(Step(Operation.INSERT, "a")) == "(I a)"
+        assert str(Step(LX, 4)) == "(LX 4)"
+
+    def test_classification(self):
+        assert Step(R, "a").is_data
+        assert Step(LX, "a").is_lock
+        assert Step(UX, "a").is_unlock
+
+    def test_step_constructor_accepts_strings(self):
+        assert step("LX", "a") == Step(LX, "a")
+        assert step(R, "a") == Step(R, "a")
+
+
+class TestConflicts:
+    def test_same_entity_required(self):
+        assert not Step(W, "a").conflicts_with(Step(W, "b"))
+        assert Step(W, "a").conflicts_with(Step(W, "a"))
+
+    def test_read_read_no_conflict(self):
+        assert not Step(R, "a").conflicts_with(Step(R, "a"))
+
+    def test_insert_conflicts_with_read(self):
+        assert steps_conflict(Step(I, "a"), Step(R, "a"))
+
+    def test_lock_conflicts(self):
+        assert Step(LX, "a").conflicts_with(Step(LX, "a"))
+        assert Step(UX, "a").conflicts_with(Step(LX, "a"))
+
+    def test_conflicting_pairs(self):
+        a = [Step(W, "x"), Step(R, "y")]
+        b = [Step(R, "x"), Step(R, "y"), Step(W, "y")]
+        pairs = list(conflicting_pairs(a, b))
+        assert (Step(W, "x"), Step(R, "x")) in pairs
+        assert (Step(R, "y"), Step(W, "y")) in pairs
+        assert (Step(R, "y"), Step(R, "y")) not in pairs
+
+
+class TestParsing:
+    def test_parse_step_parenthesised(self):
+        assert parse_step("(I a)") == Step(I, "a")
+
+    def test_parse_step_bare(self):
+        assert parse_step("W  c") == Step(W, "c")
+
+    def test_parse_step_integer_entity(self):
+        assert parse_step("(LX 4)") == Step(LX, 4)
+
+    def test_parse_steps_sequence(self):
+        steps = parse_steps("(I a) (I b) (W c) (I d)")
+        assert [s.op for s in steps] == [I, I, W, I]
+        assert [s.entity for s in steps] == ["a", "b", "c", "d"]
+
+    def test_parse_steps_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            parse_steps("(I a) junk (W b)")
+        with pytest.raises(ValueError):
+            parse_steps("(I a")
+        with pytest.raises(ValueError):
+            parse_step("(I)")
+
+    def test_entities_of(self):
+        assert entities_of(parse_steps("(I a) (W b) (R a)")) == {"a", "b"}

@@ -1,0 +1,99 @@
+"""Property-based validation of Theorem 1 itself.
+
+Two independent deciders — exhaustive schedule search and canonical-witness
+search — must agree on every randomly generated system, in both directions:
+
+* *only if*: whenever brute force finds a nonserializable legal proper
+  schedule, the canonicalisation pipeline (the constructive Only-If proof)
+  turns it into a witness satisfying all of the theorem's conditions;
+* *if*: whenever a canonical witness exists, realising it yields a complete
+  legal proper nonserializable schedule.
+
+Systems are kept tiny (2 transactions x 3 steps, 3 entities) so the
+exhaustive side stays tractable; the style mix guarantees both verdicts
+occur in the corpus.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import canonicalize, find_canonical_witness, is_serializable
+from repro.core.safety import find_nonserializable_schedule
+from repro.enumeration import corpus_initial_state, random_locked_system
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+_INITIAL = corpus_initial_state(3)
+
+
+def _system(seed: int, style: str):
+    return random_locked_system(
+        num_txns=2, num_entities=3, steps_per_txn=3, style=style, seed=seed
+    )
+
+
+@given(seed=st.integers(0, 100_000), style=st.sampled_from(["early", "chaotic", "mixed"]))
+@_SETTINGS
+def test_theorem1_deciders_agree(seed, style):
+    txns = _system(seed, style)
+    schedule = find_nonserializable_schedule(txns, _INITIAL, budget=400_000)
+    witness = find_canonical_witness(txns, _INITIAL, budget=400_000)
+    assert (schedule is None) == (witness is None), (
+        f"deciders disagree on seed={seed} style={style}: "
+        f"bruteforce={'unsafe' if schedule else 'safe'}, "
+        f"canonical={'unsafe' if witness else 'safe'}"
+    )
+
+
+@given(seed=st.integers(0, 100_000), style=st.sampled_from(["early", "chaotic"]))
+@_SETTINGS
+def test_only_if_direction_constructive(seed, style):
+    """Brute-force counterexample -> canonicalisation -> valid witness."""
+    txns = _system(seed, style)
+    schedule = find_nonserializable_schedule(txns, _INITIAL, budget=400_000)
+    if schedule is None:
+        return
+    assert schedule.is_legal() and schedule.is_proper(_INITIAL)
+    assert not is_serializable(schedule)
+    witness = canonicalize(schedule)
+    problems = witness.problems(_INITIAL)
+    assert problems == [], f"seed={seed}: {problems}\n{witness.describe()}"
+
+
+@given(seed=st.integers(0, 100_000), style=st.sampled_from(["early", "chaotic"]))
+@_SETTINGS
+def test_if_direction_constructive(seed, style):
+    """Canonical witness -> realisation -> nonserializable schedule."""
+    txns = _system(seed, style)
+    witness = find_canonical_witness(txns, _INITIAL, budget=400_000)
+    if witness is None:
+        return
+    realized = witness.realize(_INITIAL)
+    assert realized.is_legal()
+    assert realized.is_proper(_INITIAL)
+    assert realized.is_complete
+    assert not is_serializable(realized)
+
+
+@given(seed=st.integers(0, 100_000))
+@_SETTINGS
+def test_exclusive_only_witnesses_have_unique_sink(seed):
+    """Section 3.3: with only exclusive locks, D(S') of a canonical witness
+    has a unique sink which unlocks A*."""
+    txns = _system(seed, "chaotic")  # exclusive-only by default
+    witness = find_canonical_witness(txns, _INITIAL, budget=400_000)
+    if witness is None:
+        return
+    assert witness.satisfies_exclusive_variant(), witness.describe()
+
+
+@given(seed=st.integers(0, 100_000))
+@_SETTINGS
+def test_two_phase_systems_never_have_witnesses(seed):
+    txns = _system(seed, "2pl")
+    assert find_canonical_witness(txns, _INITIAL, budget=400_000) is None
+    assert find_nonserializable_schedule(txns, _INITIAL, budget=400_000) is None

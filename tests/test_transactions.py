@@ -1,0 +1,160 @@
+"""Unit tests for transactions and well-formedness (repro.core.transactions)."""
+
+import pytest
+
+from repro.core.operations import LockMode
+from repro.core.transactions import (
+    Transaction,
+    assert_well_formed,
+    transactions_by_name,
+    two_phase_locked,
+)
+from repro.exceptions import MalformedTransactionError
+
+
+class TestBasics:
+    def test_from_text_roundtrip(self):
+        t = Transaction.from_text("T1", "(I a) (W b)")
+        assert len(t) == 2
+        assert str(t) == "T1: (I a) (W b)"
+
+    def test_prefix(self):
+        t = Transaction.from_text("T1", "(LX a) (I a) (UX a)")
+        p = t.prefix(2)
+        assert len(p) == 2 and p.name == "T1"
+        assert p.is_prefix_of(t)
+        assert t.prefix(len(t)) is t
+
+    def test_prefix_out_of_range(self):
+        t = Transaction.from_text("T1", "(I a)")
+        with pytest.raises(ValueError):
+            t.prefix(5)
+
+    def test_subsequence(self):
+        plain = Transaction.from_text("T1", "(I a) (W b)")
+        locked = Transaction.from_text("T1", "(LX a) (I a) (LX b) (W b) (UX a) (UX b)")
+        assert plain.is_subsequence_of(locked)
+        assert not locked.is_subsequence_of(plain)
+
+    def test_unlocked_projection(self):
+        locked = Transaction.from_text("T1", "(LX a) (I a) (UX a)")
+        assert [str(s) for s in locked.unlocked_projection().steps] == ["(I a)"]
+
+    def test_entities(self):
+        t = Transaction.from_text("T1", "(LX a) (W a) (UX a) (LX b) (R b) (UX b)")
+        assert t.entities == {"a", "b"}
+
+
+class TestLockAccounting:
+    def test_held_locks(self):
+        t = Transaction.from_text("T", "(LX a) (LS b) (UX a) (LX c)")
+        held = t.held_locks()
+        assert held == {"b": LockMode.SHARED, "c": LockMode.EXCLUSIVE}
+
+    def test_held_locks_prefix(self):
+        t = Transaction.from_text("T", "(LX a) (UX a)")
+        assert t.held_locks(upto=1) == {"a": LockMode.EXCLUSIVE}
+        assert t.held_locks(upto=2) == {}
+
+    def test_first_locked_entity(self):
+        t = Transaction.from_text("T", "(R a) (LX b) (W b)")
+        # note: ill-formed on purpose; accounting still works
+        assert t.first_locked_entity() == "b"
+
+    def test_locked_point(self):
+        t = Transaction.from_text("T", "(LX a) (W a) (UX a) (LX b) (W b) (UX b)")
+        assert t.locked_point() == 3
+
+    def test_locked_point_none_without_locks(self):
+        assert Transaction.from_text("T", "(I a)").locked_point() is None
+
+    def test_locks_entity_at_most_once(self):
+        ok = Transaction.from_text("T", "(LX a) (UX a) (LX b)")
+        bad = Transaction.from_text("T", "(LX a) (UX a) (LX a)")
+        assert ok.locks_entity_at_most_once()
+        assert not bad.locks_entity_at_most_once()
+
+    def test_two_phase_detection(self):
+        tp = Transaction.from_text("T", "(LX a) (LX b) (W a) (UX a) (UX b)")
+        ntp = Transaction.from_text("T", "(LX a) (UX a) (LX b) (UX b)")
+        assert tp.is_two_phase()
+        assert not ntp.is_two_phase()
+
+
+class TestWellFormedness:
+    def test_write_requires_exclusive(self):
+        bad = Transaction.from_text("T", "(LS a) (W a) (US a)")
+        assert not bad.is_well_formed()
+        assert "exclusive" in bad.well_formedness_violation()
+
+    def test_read_allows_shared_or_exclusive(self):
+        shared = Transaction.from_text("T", "(LS a) (R a) (US a)")
+        exclusive = Transaction.from_text("T", "(LX a) (R a) (UX a)")
+        assert shared.is_well_formed()
+        assert exclusive.is_well_formed()
+
+    def test_read_requires_some_lock(self):
+        assert not Transaction.from_text("T", "(R a)").is_well_formed()
+
+    def test_insert_requires_lock_even_for_absent_entity(self):
+        # The paper: "before inserting an entity a transaction must lock it
+        # even though it does not actually exist in the database."
+        good = Transaction.from_text("T", "(LX a) (I a) (UX a)")
+        bad = Transaction.from_text("T", "(I a)")
+        assert good.is_well_formed()
+        assert not bad.is_well_formed()
+
+    def test_unlock_without_lock_flagged(self):
+        assert not Transaction.from_text("T", "(UX a)").is_well_formed()
+
+    def test_unlock_wrong_mode_flagged(self):
+        assert not Transaction.from_text("T", "(LS a) (UX a)").is_well_formed()
+
+    def test_operation_after_unlock_flagged(self):
+        bad = Transaction.from_text("T", "(LX a) (UX a) (W a)")
+        assert not bad.is_well_formed()
+
+    def test_assert_well_formed_raises(self):
+        with pytest.raises(MalformedTransactionError):
+            assert_well_formed(Transaction.from_text("T", "(W a)"))
+
+    def test_assert_well_formed_lock_once(self):
+        t = Transaction.from_text("T", "(LX a) (R a) (UX a) (LX a) (R a) (UX a)")
+        assert t.is_well_formed()
+        with pytest.raises(MalformedTransactionError, match="more than once"):
+            assert_well_formed(t, lock_once=True)
+        assert_well_formed(t, lock_once=False)
+
+
+class TestTwoPhaseWrapper:
+    def test_wraps_plain_transaction(self):
+        t = Transaction.from_text("T1", "(I a) (W b) (R c)")
+        locked = two_phase_locked(t)
+        assert locked.is_well_formed()
+        assert locked.is_two_phase()
+        assert locked.locks_entity_at_most_once()
+        assert t.is_subsequence_of(locked)
+
+    def test_read_then_write_gets_exclusive(self):
+        t = Transaction.from_text("T1", "(R a) (W a)")
+        locked = two_phase_locked(t)
+        assert locked.lock_mode_of("a") is LockMode.EXCLUSIVE
+
+    def test_pure_read_gets_shared(self):
+        t = Transaction.from_text("T1", "(R a)")
+        assert two_phase_locked(t).lock_mode_of("a") is LockMode.SHARED
+
+    def test_rejects_locked_input(self):
+        with pytest.raises(MalformedTransactionError):
+            two_phase_locked(Transaction.from_text("T", "(LX a) (W a) (UX a)"))
+
+
+class TestRegistry:
+    def test_by_name(self):
+        ts = [Transaction.from_text("A", "(I x)"), Transaction.from_text("B", "(I y)")]
+        assert set(transactions_by_name(ts)) == {"A", "B"}
+
+    def test_duplicate_names_rejected(self):
+        ts = [Transaction.from_text("A", "(I x)"), Transaction.from_text("A", "(I y)")]
+        with pytest.raises(MalformedTransactionError):
+            transactions_by_name(ts)

@@ -1,0 +1,174 @@
+"""Tests for Lemma 1 (transpose), Lemma 2 (move), and canonicalisation."""
+
+import pytest
+
+from repro import (
+    StructuralState,
+    Schedule,
+    Transaction,
+    canonicalize,
+    is_serializable,
+    move,
+    serializability_graph,
+    split_at_first_cycle,
+    transpose,
+)
+from repro.core.transforms import CanonicalizationTrace, is_sink_of_prefix
+from repro.exceptions import ModelError
+
+
+@pytest.fixture
+def nonserializable_schedule(nontwophase_pair):
+    t1, t2 = nontwophase_pair
+    # T1 writes a, releases; T2 writes b then a; T1 then writes b -> cycle.
+    return Schedule.from_order(
+        [t1, t2],
+        ["T1", "T1", "T1", "T2", "T2", "T2", "T2", "T2", "T2", "T1", "T1", "T1"],
+    )
+
+
+class TestTranspose:
+    def test_transpose_swaps(self, simple_locked_pair):
+        s = Schedule.serial(simple_locked_pair)
+        # positions 2 (UX a by T1) and 3 (LX a by T2) conflict; pick 1,2? the
+        # pair (I a by T1, LX a by T2) also conflicts, so use a schedule with
+        # adjacent non-conflicting steps instead:
+        t1 = Transaction.from_text("T1", "(LX a) (W a) (UX a)")
+        t2 = Transaction.from_text("T2", "(LX b) (W b) (UX b)")
+        s = Schedule.from_order([t1, t2], ["T1", "T2", "T1", "T2", "T1", "T2"])
+        swapped = transpose(s, 0)
+        assert [e.txn for e in swapped][:2] == ["T2", "T1"]
+
+    def test_lemma1_preserves_legal_proper_and_graph(self):
+        t1 = Transaction.from_text("T1", "(LX a) (I a) (UX a)")
+        t2 = Transaction.from_text("T2", "(LX b) (I b) (UX b)")
+        s = Schedule.from_order([t1, t2], ["T1", "T2", "T1", "T2", "T1", "T2"])
+        assert s.is_legal() and s.is_proper()
+        g = serializability_graph(s)
+        for pos in range(len(s) - 1):
+            a, b = s.events[pos], s.events[pos + 1]
+            if a.txn == b.txn or a.conflicts_with(b):
+                continue
+            swapped = transpose(s, pos)
+            assert swapped.is_legal()
+            assert swapped.is_proper()
+            g2 = serializability_graph(swapped)
+            assert g.edges == g2.edges and g.nodes == g2.nodes
+
+    def test_transpose_same_transaction_rejected(self, simple_locked_pair):
+        s = Schedule.serial(simple_locked_pair)
+        with pytest.raises(ModelError):
+            transpose(s, 0)  # both events belong to T1
+
+    def test_transpose_conflicting_rejected(self):
+        t1 = Transaction.from_text("T1", "(LX a) (W a) (UX a)")
+        t2 = Transaction.from_text("T2", "(LX a) (W a) (UX a)")
+        s = Schedule.from_order([t1, t2], ["T1", "T1", "T1", "T2", "T2", "T2"])
+        with pytest.raises(ModelError, match="conflict"):
+            transpose(s, 2)  # (UX a) then (LX a)
+
+
+class TestMove:
+    def test_move_matches_paper_definition(self):
+        t1 = Transaction.from_text("T1", "(LX a) (W a) (UX a)")
+        t2 = Transaction.from_text("T2", "(LX b) (W b) (UX b)")
+        s = Schedule.from_order([t1, t2], ["T1", "T2", "T1", "T2", "T1", "T2"])
+        moved = move(s, 4, "T1")  # move T1's steps inside the 4-prefix back
+        txns = [e.txn for e in moved]
+        # prefix had T1,T2,T1,T2: non-T1 part (T2,T2) first, then T1,T1,
+        # then the untouched suffix T1,T2.
+        assert txns == ["T2", "T2", "T1", "T1", "T1", "T2"]
+
+    def test_move_preserves_internal_order(self):
+        t1 = Transaction.from_text("T1", "(LX a) (W a) (UX a)")
+        t2 = Transaction.from_text("T2", "(LX b) (W b) (UX b)")
+        s = Schedule.from_order([t1, t2], ["T1", "T2", "T1", "T2", "T1", "T2"])
+        moved = move(s, 4, "T1")
+        t1_steps = [e.index for e in moved if e.txn == "T1"]
+        assert t1_steps == sorted(t1_steps)
+
+    def test_lemma2_preserves_properties(self):
+        # T2 is a sink of the prefix graph; moving it must keep everything.
+        t1 = Transaction.from_text("T1", "(LX a) (I a) (UX a)")
+        t2 = Transaction.from_text("T2", "(LX a) (W a) (UX a)")
+        t3 = Transaction.from_text("T3", "(LX b) (I b) (UX b)")
+        s = Schedule.from_order(
+            [t1, t2, t3],
+            ["T1", "T1", "T1", "T3", "T2", "T3", "T2", "T3", "T2"],
+        )
+        assert s.is_legal() and s.is_proper()
+        prefix_len = 7
+        assert is_sink_of_prefix(s, prefix_len, "T2")
+        g = serializability_graph(s)
+        moved = move(s, prefix_len, "T2")
+        assert moved.is_legal() and moved.is_proper()
+        assert serializability_graph(moved).edges == g.edges
+
+    def test_move_out_of_range(self, simple_locked_pair):
+        s = Schedule.serial(simple_locked_pair)
+        with pytest.raises(IndexError):
+            move(s, 99, "T1")
+
+
+class TestSplit:
+    def test_split_serializable_returns_none(self, simple_locked_pair):
+        assert split_at_first_cycle(Schedule.serial(simple_locked_pair)) is None
+
+    def test_split_finds_lock_step(self, nonserializable_schedule):
+        found = split_at_first_cycle(nonserializable_schedule)
+        assert found is not None
+        minus_len, closing = found
+        assert closing.step.is_lock
+        prefix = nonserializable_schedule.prefix(minus_len)
+        assert serializability_graph(prefix).is_acyclic()
+        plus = nonserializable_schedule.prefix(minus_len + 1)
+        assert not serializability_graph(plus).is_acyclic()
+
+
+class TestCanonicalize:
+    def test_canonicalize_two_transaction_cycle(self, nonserializable_schedule):
+        witness = canonicalize(nonserializable_schedule)
+        ab = StructuralState.of("a", "b")
+        assert witness.is_valid(ab)
+        sprime = witness.serial_prefix_schedule()
+        assert sprime.is_serial()
+        assert sprime.is_legal() and sprime.is_proper(ab)
+
+    def test_canonicalize_rejects_serializable(self, simple_locked_pair):
+        with pytest.raises(ModelError, match="serializable"):
+            canonicalize(Schedule.serial(simple_locked_pair))
+
+    def test_canonicalize_condition1(self, nonserializable_schedule):
+        witness = canonicalize(nonserializable_schedule)
+        tc = witness.tc
+        cut = witness.prefix_lengths[tc.name]
+        assert any(s.is_unlock for s in tc.steps[:cut])
+        pending = tc.steps[cut]
+        assert pending.is_lock and pending.entity == witness.entity
+
+    def test_canonicalize_exclusive_variant(self, nonserializable_schedule):
+        # All locks exclusive -> unique sink (Section 3.3).
+        witness = canonicalize(nonserializable_schedule)
+        assert witness.satisfies_exclusive_variant()
+
+    def test_canonicalize_records_trace(self, nonserializable_schedule):
+        trace = CanonicalizationTrace()
+        canonicalize(nonserializable_schedule, trace)
+        assert trace.serialization_moves  # at least the topological pass ran
+
+    def test_canonicalize_fig2(self, fig2_sp):
+        assert fig2_sp.is_legal() and fig2_sp.is_proper()
+        assert not is_serializable(fig2_sp)
+        witness = canonicalize(fig2_sp)
+        assert witness.is_valid()
+        # Dynamic-database shape: in Fig 2-style systems T_c need not be
+        # first in the serial order (the paper's first structural remark).
+        assert len(witness.transactions) == 3
+
+    def test_canonical_completion_is_nonserializable(self, nonserializable_schedule):
+        witness = canonicalize(nonserializable_schedule)
+        ab = StructuralState.of("a", "b")
+        realized = witness.realize(ab)
+        assert realized.is_complete
+        assert realized.is_legal() and realized.is_proper(ab)
+        assert not is_serializable(realized)

@@ -1,0 +1,51 @@
+"""Tests for the two-phase analysis module."""
+
+from repro import Transaction
+from repro.core.twophase import (
+    all_two_phase,
+    analyze_two_phase,
+    candidate_distinguished_transactions,
+    growing_phase,
+    shrinking_phase,
+)
+
+
+class TestAnalysis:
+    def test_two_phase_report(self):
+        t = Transaction.from_text("T", "(LX a) (LX b) (W a) (UX a) (UX b)")
+        report = analyze_two_phase(t)
+        assert report.is_two_phase
+        assert report.violations == ()
+        assert report.lock_point == 1
+
+    def test_violation_located(self):
+        t = Transaction.from_text("T", "(LX a) (UX a) (LX b) (UX b)")
+        report = analyze_two_phase(t)
+        assert not report.is_two_phase
+        assert report.first_violation() == (1, 2)
+
+    def test_multiple_violations(self):
+        t = Transaction.from_text("T", "(LX a) (UX a) (LX b) (UX b) (LX c) (UX c)")
+        report = analyze_two_phase(t)
+        assert len(report.violations) == 2
+
+    def test_lock_free_transaction(self):
+        report = analyze_two_phase(Transaction.from_text("T", "(I a)"))
+        assert report.is_two_phase and report.lock_point is None
+
+
+class TestSystemLevel:
+    def test_all_two_phase(self, simple_locked_pair, nontwophase_pair):
+        assert all_two_phase(simple_locked_pair)
+        assert not all_two_phase(nontwophase_pair)
+
+    def test_candidates_are_the_non_two_phase_ones(self, nontwophase_pair):
+        names = {t.name for t in candidate_distinguished_transactions(nontwophase_pair)}
+        assert names == {"T1", "T2"}
+
+    def test_phases_partition_steps(self):
+        t = Transaction.from_text("T", "(LX a) (W a) (UX a) (LX b) (W b) (UX b)")
+        grow = growing_phase(t)
+        shrink = shrinking_phase(t)
+        assert len(grow) + len(shrink) == len(t)
+        assert grow[-1].is_lock

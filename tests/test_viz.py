@@ -1,0 +1,50 @@
+"""Tests for the ASCII rendering helpers."""
+
+from repro import Schedule, serializability_graph
+from repro.graphs import Forest, diamond
+from repro.viz import (
+    render_conflict_graph,
+    render_dag,
+    render_forest,
+    render_lock_timeline,
+    render_schedule,
+    render_schedule_graph,
+)
+
+
+class TestRenderSchedule:
+    def test_rows(self, section2_proper):
+        text = render_schedule(section2_proper, ["T1", "T2"])
+        assert text.splitlines()[0].startswith("T1:")
+
+    def test_lock_timeline(self, simple_locked_pair):
+        s = Schedule.serial(simple_locked_pair)
+        text = render_lock_timeline(s)
+        assert "T1[0..2]" in text
+        assert "T2[3..5]" in text
+
+
+class TestRenderGraphs:
+    def test_conflict_graph(self, fig2_sp):
+        text = render_conflict_graph(serializability_graph(fig2_sp))
+        assert "-->" in text and "sinks:" in text
+
+    def test_schedule_graph_shortcut(self, fig2_sp):
+        assert "D(S)" in render_schedule_graph(fig2_sp)
+
+    def test_dag(self):
+        text = render_dag(diamond())
+        lines = text.splitlines()
+        assert lines[0] == "1"
+        assert any(l.strip().startswith("4") for l in lines)
+        assert any(l.strip().endswith("*") for l in lines)  # shared node
+
+    def test_forest(self):
+        f = Forest()
+        f.add_root(1)
+        f.add_child(1, 2)
+        text = render_forest(f)
+        assert text.splitlines() == ["1", "  2"]
+
+    def test_empty_forest(self):
+        assert render_forest(Forest()) == "(empty forest)"
