@@ -14,9 +14,13 @@ testbed seconds; the *shapes* under test:
   admits more concurrency than strict 2PL holding the whole path.
 * **all policies** — every recorded schedule serializable (the safety side
   of the trade).
+* **event-driven vs naive scheduler** — the per-tick classification work of
+  the event engine stays near-constant while the naive rescan grows with
+  the live population; identical schedules, orders of magnitude less work.
 """
 
 import statistics
+import time
 
 from conftest import banner
 
@@ -28,6 +32,7 @@ from repro.sim import (
     format_table,
     long_transaction_workload,
     run_cell,
+    stress_workload,
     traversal_workload,
 )
 
@@ -100,6 +105,92 @@ def test_ddag_vs_2pl_traversals():
     )
     print("\nshape: DDAG's crab-style early release keeps blocking at or below"
           "\nstrict 2PL while preserving serializability")
+
+
+def test_event_engine_vs_naive_classification_work():
+    """Head-to-head at 300 transactions: the event-driven scheduler must
+    reproduce the naive engine's schedule exactly while doing a fraction of
+    its classification work."""
+    banner("[scheduler] event-driven engine vs naive per-tick rescan")
+    items, initial = stress_workload(100, 300, arrival_rate=2.0, seed=0)
+    rows = []
+    results = {}
+    for engine in ("naive", "event"):
+        start = time.perf_counter()
+        result = Simulator(TwoPhasePolicy(), seed=0, engine=engine).run(
+            items, initial
+        )
+        wall = time.perf_counter() - start
+        results[engine] = result
+        work = result.metrics.work_summary()
+        rows.append({
+            "engine": engine,
+            "ticks": result.metrics.ticks,
+            "classify_checks": int(work["classify_checks"]),
+            "classify/tick": round(work["classify_per_tick"], 2),
+            "blocker_queries": int(work["blocker_queries"]),
+            "wall_s": round(wall, 3),
+        })
+    print(format_table(
+        rows,
+        ["engine", "ticks", "classify_checks", "classify/tick",
+         "blocker_queries", "wall_s"],
+    ))
+    naive, event = results["naive"], results["event"]
+    assert naive.schedule.events == event.schedule.events, (
+        "engines must produce identical schedules on the same seed"
+    )
+    assert naive.metrics.summary() == event.metrics.summary()
+    saving = naive.metrics.classify_checks / max(1, event.metrics.classify_checks)
+    assert saving > 10, f"expected >10x fewer classifications, got {saving:.1f}x"
+    print(f"\nshape: identical schedules; the event engine performs "
+          f"{saving:.0f}x fewer classification operations")
+
+
+def test_event_engine_thousand_transaction_stress():
+    """Scale run: >= 1,000 transactions through the event engine, with
+    near-constant per-tick classification work (the naive engine's per-tick
+    work at this population is in the hundreds)."""
+    banner("[scheduler] 1,200-transaction stress workload, event engine")
+    items, initial = stress_workload(400, 1200, arrival_rate=2.0, seed=0)
+    start = time.perf_counter()
+    result = Simulator(TwoPhasePolicy(), seed=0, max_ticks=500_000).run(
+        items, initial, validate=False
+    )
+    wall = time.perf_counter() - start
+    m = result.metrics
+    work = m.work_summary()
+    print(format_table(
+        [{
+            "txns": len(items),
+            "committed": m.committed,
+            "ticks": m.ticks,
+            "classify/tick": round(work["classify_per_tick"], 2),
+            "wakeups": int(work["wakeups"]),
+            "wall_s": round(wall, 3),
+        }],
+        ["txns", "committed", "ticks", "classify/tick", "wakeups", "wall_s"],
+    ))
+    assert m.committed == 1200
+    assert result.ok
+    assert work["classify_per_tick"] < 25, (
+        "event engine classification work must not scale with the population"
+    )
+    print("\nshape: thousands of transactions complete with per-tick "
+          "classification work independent of the live population")
+
+
+def test_bench_perf_stress_event_engine(benchmark):
+    """Kernel: one 300-transaction stress run under the event engine."""
+    items, initial = stress_workload(100, 300, arrival_rate=2.0, seed=0)
+
+    def run():
+        return Simulator(TwoPhasePolicy(), seed=0).run(
+            items, initial, validate=False
+        )
+
+    result = benchmark(run)
+    assert result.metrics.committed == 300
 
 
 def test_bench_perf_altruistic_cell(benchmark):

@@ -80,6 +80,10 @@ class AltruisticSession(PolicySession):
     post-locked-point.
     """
 
+    #: AL2 admission consults the other active sessions' donations and
+    #: locked points — shared state that moves on every lock/unlock.
+    dynamic = True
+
     def __init__(
         self,
         name: str,

@@ -149,6 +149,18 @@ PROCEED = AdmissionResult(Admission.PROCEED)
 class PolicySession(ABC):
     """Per-transaction state machine producing locked steps."""
 
+    #: Whether :meth:`peek`/:meth:`admission` consult *shared* mutable state
+    #: (the DDAG graph, the altruistic wake bookkeeping) and must therefore
+    #: be re-evaluated every tick.  A session may set this False only when
+    #: its :meth:`peek` is a pure function of its own state *and* it keeps
+    #: the default always-PROCEED :meth:`admission`; the event-driven
+    #: scheduler then skips it until a lock event or its own execution
+    #: invalidates the cached classification.  (Overriding
+    #: :meth:`admission` makes the scheduler treat the session as dynamic
+    #: regardless of this flag.)  Defaults to True — the conservative
+    #: choice for custom sessions.
+    dynamic: bool = True
+
     def __init__(self, name: str):
         self.name = name
 
@@ -227,6 +239,8 @@ class ScriptedSession(PolicySession):
     begins — Section 6 notes this explicitly — and strict 2PL needs no
     dynamic decisions either).
     """
+
+    dynamic = False
 
     def __init__(self, name: str, steps: Sequence[Step]):
         super().__init__(name)

@@ -99,6 +99,10 @@ class DdagContext(PolicyContext):
 class DdagSession(PolicySession):
     """Online DDAG state machine for one transaction."""
 
+    #: Rule L5 consults the *present* graph, so planning and admission must
+    #: be re-evaluated against shared state every tick.
+    dynamic = True
+
     def __init__(
         self,
         name: str,

@@ -14,6 +14,7 @@ from .workloads import (
     fig3_workload,
     long_transaction_workload,
     random_access_workload,
+    stress_workload,
     traversal_workload,
 )
 
@@ -36,5 +37,6 @@ __all__ = [
     "long_transaction_workload",
     "random_access_workload",
     "run_cell",
+    "stress_workload",
     "traversal_workload",
 ]

@@ -1,11 +1,22 @@
 """The simulator's authoritative lock table.
 
-Tracks, per entity, which transactions hold which mode.  Grant rule: a
+Tracks, per entity, which transactions hold which mode(s).  Grant rule: a
 request conflicts if any *other* transaction holds a mode that conflicts
-(only SHARED/SHARED is compatible).  The table does not queue — the
-scheduler retries blocked sessions — but it reports the holders blocking a
-request so the scheduler can build the waits-for graph for deadlock
-detection.
+(only SHARED/SHARED is compatible).
+
+Two facilities support the event-driven scheduler:
+
+* **Mode multisets.** A transaction may hold SHARED and EXCLUSIVE on the
+  same entity at once (a lock upgrade).  Each mode is tracked separately,
+  so ``release(txn, entity, SHARED)`` after an upgrade removes only the
+  shared grant and the exclusive one stays visible — the historical
+  behaviour of overwriting the mode made that release a silent no-op and
+  leaked the exclusive lock until abort.
+* **Per-entity wait queues.** Blocked transactions register as waiters via
+  :meth:`add_waiter`; :meth:`release` and :meth:`release_all` return the
+  *wake-up set* — the waiters on every entity whose holder set changed — so
+  the scheduler can re-examine exactly the sessions a release might have
+  unblocked instead of rescanning every live session each tick.
 """
 
 from __future__ import annotations
@@ -17,27 +28,56 @@ from ..core.steps import Entity
 
 
 class LockTable:
-    """Entity -> {transaction: mode} with conflict queries."""
+    """Entity -> {transaction: modes} with conflict queries and wait queues."""
 
     def __init__(self) -> None:
-        self._holders: Dict[Entity, Dict[str, LockMode]] = {}
+        self._holders: Dict[Entity, Dict[str, Set[LockMode]]] = {}
+        #: Per-transaction index of held entities (O(footprint) release_all).
+        self._held: Dict[str, Set[Entity]] = {}
+        #: Per-entity wait queue: waiter -> requested mode (insertion order).
+        self._waiters: Dict[Entity, Dict[str, LockMode]] = {}
+        #: Reverse index: waiter -> entity it waits on.
+        self._waiting_on: Dict[str, Entity] = {}
+
+    # ------------------------------------------------------------------
+    # Holder queries
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _effective(modes: Set[LockMode]) -> LockMode:
+        return (
+            LockMode.EXCLUSIVE if LockMode.EXCLUSIVE in modes else LockMode.SHARED
+        )
 
     def holders(self, entity: Entity) -> Dict[str, LockMode]:
-        return dict(self._holders.get(entity, {}))
+        """Transactions holding ``entity``, mapped to their strongest mode."""
+        return {
+            txn: self._effective(modes)
+            for txn, modes in self._holders.get(entity, {}).items()
+        }
 
     def mode_held(self, txn: str, entity: Entity) -> Optional[LockMode]:
-        return self._holders.get(entity, {}).get(txn)
+        modes = self._holders.get(entity, {}).get(txn)
+        return self._effective(modes) if modes else None
+
+    def modes_held(self, txn: str, entity: Entity) -> FrozenSet[LockMode]:
+        """Every mode ``txn`` holds on ``entity`` (both, after an upgrade)."""
+        return frozenset(self._holders.get(entity, {}).get(txn, ()))
 
     def blockers(self, txn: str, entity: Entity, mode: LockMode) -> List[str]:
         """Other transactions holding conflicting modes on ``entity``."""
         return [
             other
-            for other, other_mode in self._holders.get(entity, {}).items()
-            if other != txn and mode.conflicts_with(other_mode)
+            for other, modes in self._holders.get(entity, {}).items()
+            if other != txn and mode.conflicts_with(self._effective(modes))
         ]
 
     def grantable(self, txn: str, entity: Entity, mode: LockMode) -> bool:
         return not self.blockers(txn, entity, mode)
+
+    # ------------------------------------------------------------------
+    # Grants and releases
+    # ------------------------------------------------------------------
 
     def acquire(self, txn: str, entity: Entity, mode: LockMode) -> None:
         """Record a grant.  The caller must have checked :meth:`grantable`."""
@@ -46,35 +86,108 @@ class LockTable:
             raise RuntimeError(
                 f"{txn} acquires {mode} on {entity!r} despite holders {blockers}"
             )
-        current = self._holders.setdefault(entity, {})
-        prev = current.get(txn)
-        if prev is None or mode is LockMode.EXCLUSIVE:
-            current[txn] = mode
+        self._holders.setdefault(entity, {}).setdefault(txn, set()).add(mode)
+        self._held.setdefault(txn, set()).add(entity)
 
-    def release(self, txn: str, entity: Entity, mode: LockMode) -> None:
-        current = self._holders.get(entity, {})
-        if current.get(txn) is mode:
+    def _drop(self, txn: str, entity: Entity, mode: LockMode) -> bool:
+        """Remove one mode grant; True only if ``txn``'s *effective* hold on
+        ``entity`` weakened (holder gone, or EXCLUSIVE downgraded to
+        SHARED) — releasing the SHARED half of an upgrade changes nothing a
+        waiter could be granted on, so it must not produce wake-ups."""
+        current = self._holders.get(entity)
+        if current is None:
+            return False
+        modes = current.get(txn)
+        if modes is None or mode not in modes:
+            return False
+        before = self._effective(modes)
+        modes.discard(mode)
+        if not modes:
             del current[txn]
+            held = self._held.get(txn)
+            if held is not None:
+                held.discard(entity)
+                if not held:
+                    del self._held[txn]
             if not current:
-                self._holders.pop(entity, None)
+                del self._holders[entity]
+            return True
+        return self._effective(modes) is not before
+
+    def release(self, txn: str, entity: Entity, mode: LockMode) -> List[str]:
+        """Release one mode grant; returns the wake-up set — the waiters on
+        ``entity`` (in arrival order) if its holder set changed."""
+        if self._drop(txn, entity, mode):
+            return [w for w in self._waiters.get(entity, {}) if w != txn]
+        return []
 
     def release_all(self, txn: str) -> List[Tuple[Entity, LockMode]]:
-        """Release every lock of ``txn`` (abort path); returns what was
-        released."""
+        """Release every lock of ``txn`` (abort/commit path); returns what
+        was released (entity, strongest mode).  Use :meth:`waiters_of` on
+        the released entities — or :meth:`release_all_wake` — for wake-ups.
+        """
+        self.remove_waiter(txn)  # a departing txn must not stay queued
         released: List[Tuple[Entity, LockMode]] = []
-        for entity in list(self._holders):
-            mode = self._holders[entity].pop(txn, None)
-            if mode is not None:
-                released.append((entity, mode))
+        for entity in sorted(self._held.get(txn, ()), key=repr):
+            modes = self._holders[entity].pop(txn)
+            released.append((entity, self._effective(modes)))
             if not self._holders[entity]:
                 del self._holders[entity]
+        self._held.pop(txn, None)
         return released
+
+    def release_all_wake(self, txn: str) -> Tuple[List[Tuple[Entity, LockMode]], List[str]]:
+        """:meth:`release_all` plus the combined wake-up set of every
+        released entity's waiters."""
+        released = self.release_all(txn)
+        woken: List[str] = []
+        seen: Set[str] = set()
+        for entity, _ in released:
+            for w in self._waiters.get(entity, {}):
+                if w != txn and w not in seen:
+                    seen.add(w)
+                    woken.append(w)
+        return released, woken
+
+    # ------------------------------------------------------------------
+    # Wait queues
+    # ------------------------------------------------------------------
+
+    def add_waiter(self, txn: str, entity: Entity, mode: LockMode) -> None:
+        """Register ``txn`` as blocked on ``entity`` wanting ``mode``.  A
+        transaction waits on at most one entity at a time (the simulator
+        blocks on the pending step only)."""
+        prev = self._waiting_on.get(txn)
+        if prev is not None and prev != entity:
+            self.remove_waiter(txn)
+        self._waiters.setdefault(entity, {})[txn] = mode
+        self._waiting_on[txn] = entity
+
+    def remove_waiter(self, txn: str) -> None:
+        entity = self._waiting_on.pop(txn, None)
+        if entity is None:
+            return
+        queue = self._waiters.get(entity)
+        if queue is not None:
+            queue.pop(txn, None)
+            if not queue:
+                del self._waiters[entity]
+
+    def waiters_of(self, entity: Entity) -> List[str]:
+        """Waiters queued on ``entity``, in arrival order."""
+        return list(self._waiters.get(entity, {}))
+
+    def waiting_entity(self, txn: str) -> Optional[Entity]:
+        return self._waiting_on.get(txn)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
 
     def held_by(self, txn: str) -> Dict[Entity, LockMode]:
         return {
-            entity: modes[txn]
-            for entity, modes in self._holders.items()
-            if txn in modes
+            entity: self._effective(self._holders[entity][txn])
+            for entity in sorted(self._held.get(txn, ()), key=repr)
         }
 
     def locked_entities(self) -> FrozenSet[Entity]:

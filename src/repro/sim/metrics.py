@@ -47,6 +47,21 @@ class Metrics:
     active_integral: int = 0
     records: Dict[str, TxnRecord] = field(default_factory=dict)
 
+    # -- scheduler work counters ---------------------------------------
+    # How much classification work the engine performed.  These measure the
+    # *engine*, not the workload, so they are reported separately from
+    # :meth:`summary` (whose values are identical between the naive and the
+    # event-driven engine on the same seed; the work counters are exactly
+    # what the event engine is built to shrink).
+    #: Full session classifications performed (peek + admission + lock check).
+    classify_checks: int = 0
+    #: Policy admission() evaluations.
+    admission_checks: int = 0
+    #: Lock-table conflict (blockers) queries.
+    blocker_queries: int = 0
+    #: Sessions re-examined because a lock release/commit/abort woke them.
+    wakeups: int = 0
+
     @property
     def throughput(self) -> float:
         """Committed transactions per tick."""
@@ -84,4 +99,17 @@ class Metrics:
             "mean_latency": self.mean_latency,
             "mean_active": self.mean_active,
             "wait_fraction": self.wait_fraction,
+        }
+
+    def work_summary(self) -> Dict[str, float]:
+        """Engine work counters (see the field comments); reported by the
+        performance benchmarks to compare scheduler implementations."""
+        return {
+            "classify_checks": float(self.classify_checks),
+            "admission_checks": float(self.admission_checks),
+            "blocker_queries": float(self.blocker_queries),
+            "wakeups": float(self.wakeups),
+            "classify_per_tick": (
+                self.classify_checks / self.ticks if self.ticks else 0.0
+            ),
         }

@@ -32,6 +32,9 @@ class CellResult:
     failures: int
     means: Dict[str, float]
     stdevs: Dict[str, float]
+    #: True iff at least one run succeeded and every successful run was
+    #: serializable.  A cell whose every seed failed reports False — it must
+    #: not read as green.
     all_serializable: bool
 
     def row(self) -> Dict[str, object]:
@@ -54,6 +57,7 @@ def run_cell(
     context_kwargs_factory: Optional[Callable[[int], dict]] = None,
     max_ticks: int = 200_000,
     check_serializability: bool = True,
+    engine: str = "event",
 ) -> CellResult:
     """Run one policy over several seeded instances of a workload."""
     summaries: List[Dict[str, float]] = []
@@ -62,7 +66,10 @@ def run_cell(
     for seed in seeds:
         items, initial = factory(seed)
         kwargs = context_kwargs_factory(seed) if context_kwargs_factory else {}
-        sim = Simulator(policy, seed=seed, max_ticks=max_ticks, context_kwargs=kwargs)
+        sim = Simulator(
+            policy, seed=seed, max_ticks=max_ticks, context_kwargs=kwargs,
+            engine=engine,
+        )
         try:
             result = sim.run(items, initial)
         except SimulationError:
@@ -71,6 +78,11 @@ def run_cell(
         if check_serializability and not is_serializable(result.schedule):
             all_srz = False
         summaries.append(result.metrics.summary())
+    if not summaries:
+        # Every seed failed: nothing was verified, so the cell must not
+        # report itself serializable (it used to come back green with empty
+        # means, hiding total failure).
+        all_srz = False
     keys = summaries[0].keys() if summaries else []
     means = {k: statistics.fmean(s[k] for s in summaries) for k in keys}
     stdevs = {

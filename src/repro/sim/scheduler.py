@@ -7,7 +7,7 @@ schedule space of the safety property tests and for the performance shapes
 of the benchmark harness (blocking and concurrency differences between
 policies show up directly in tick counts).
 
-Scheduling loop per tick:
+Scheduling semantics per tick (identical for both engines):
 
 1. commit sessions that have no pending step;
 2. classify the rest: runnable / lock-blocked / policy-blocked (WAIT) /
@@ -16,6 +16,27 @@ Scheduling loop per tick:
 3. if nothing is runnable, find a cycle in the waits-for graph (lock waits +
    policy waits) and abort a victim, else the run has livelocked (an error);
 4. execute one step of one runnable session (uniformly at random, seeded).
+
+Two engines implement these semantics:
+
+* ``engine="naive"`` — the reference implementation: re-classify every live
+  session, re-query the lock table and rebuild the waits-for graph from
+  scratch on every tick.  O(live × footprint) per tick; kept as the
+  executable specification the event-driven engine is tested against.
+* ``engine="event"`` (default) — the event-driven engine: classifications
+  are cached and invalidated only by the events that can change them.  A
+  blocked session registers in the lock table's per-entity wait queue and is
+  re-examined only when a release/commit/abort returns it in a wake-up set;
+  a runnable session watching a lock is re-examined only when another
+  session acquires that entity; the waits-for graph is maintained
+  incrementally (edges added when a session blocks, dropped on
+  wake/abort/commit).  Sessions whose policy logic consults *shared*
+  mutable state (``PolicySession.dynamic``) are still re-examined every
+  tick — rule L5's "the present state of G" cannot be cached — so the
+  engine degrades gracefully to the naive behaviour exactly where the
+  paper's policies demand it.  Blocked-tick accounting for skipped sessions
+  is accrued lazily at the next re-examination, so both engines produce
+  identical schedules *and* identical metric summaries for the same seed.
 
 Aborted transactions release their locks, their recorded events are erased
 (no recovery theory in the paper — an aborted attempt "never happened"),
@@ -26,7 +47,7 @@ workload's restart strategy (by default, the same intents).
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.operations import LockMode
@@ -76,18 +97,42 @@ class SimResult:
         return not self.aborted
 
 
+# Cached classification states of one live session (event engine).
+_NEW = "new"
+_RUNNABLE = "runnable"
+_LOCK_WAIT = "lock-wait"
+_POLICY_WAIT = "policy-wait"
+
+
 @dataclass
 class _Live:
     item: WorkloadItem
     session: PolicySession
     record: TxnRecord
     attempt: int = 1
-    events: List[Event] = field(default_factory=list)
     step_count: int = 0
+    #: Admission order; stable across restarts so the commit scan visits
+    #: sessions exactly as the naive engine's insertion-order scan does.
+    seq: int = 0
+    #: Cached classification (event engine).
+    state: str = _NEW
+    #: Entity whose pending lock this (runnable) session is watching.
+    watch_entity: Optional[Entity] = None
+    #: Last tick for which blocked-time accounting has been recorded.
+    accrued_to: int = -1
+    #: Last tick this session was classified.
+    checked_at: int = -1
 
 
 class Simulator:
-    """Run a workload under a policy; see the module docstring."""
+    """Run a workload under a policy; see the module docstring.
+
+    ``engine`` selects the scheduling implementation: ``"event"`` (the
+    default event-driven engine) or ``"naive"`` (the per-tick rescan kept as
+    the reference both engines' equivalence is asserted against).
+    """
+
+    ENGINES = ("event", "naive")
 
     def __init__(
         self,
@@ -96,12 +141,16 @@ class Simulator:
         max_ticks: int = 100_000,
         max_restarts: int = 10,
         context_kwargs: Optional[dict] = None,
+        engine: str = "event",
     ):
+        if engine not in self.ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; expected one of {self.ENGINES}")
         self.policy = policy
         self.rng = random.Random(seed)
         self.max_ticks = max_ticks
         self.max_restarts = max_restarts
         self.context_kwargs = dict(context_kwargs or {})
+        self.engine = engine
 
     # ------------------------------------------------------------------
 
@@ -111,170 +160,443 @@ class Simulator:
         initial: StructuralState = StructuralState.empty(),
         validate: bool = True,
     ) -> SimResult:
-        context = self.policy.create_context(**self.context_kwargs)
-        metrics = Metrics()
-        table = LockTable()
-        events: List[Event] = []
-        live: Dict[str, _Live] = {}
-        committed: List[str] = []
-        dropped: List[str] = []
-
-        pending: List[WorkloadItem] = sorted(
-            workload, key=lambda it: (it.start_tick, it.name)
-        )
-
-        def admit_arrivals() -> None:
-            while pending and pending[0].start_tick <= metrics.ticks:
-                item = pending.pop(0)
-                session = context.begin(item.name, item.intents)
-                record = TxnRecord(item.name, start_tick=metrics.ticks)
-                metrics.records[item.name] = record
-                live[item.name] = _Live(item, session, record)
-
-        admit_arrivals()
-
-        def erase(name: str) -> None:
-            events[:] = [e for e in events if e.txn != name]
-
-        def abort(victim: _Live, reason: str) -> None:
-            metrics.aborted += 1
-            victim.record.restarts += 1
-            victim.session.on_abort()
-            table.release_all(victim.item.name)
-            erase(victim.item.name)
-            name = victim.item.name
-            if victim.attempt > self.max_restarts:
-                del live[name]
-                dropped.append(name)
-                victim.record.end_tick = metrics.ticks
-                return
-            metrics.restarts += 1
-            intents: Optional[Sequence[Intent]] = victim.item.intents
-            if victim.item.restart is not None:
-                intents = victim.item.restart(name, victim.attempt, context)
-            if intents is None:
-                del live[name]
-                dropped.append(name)
-                victim.record.end_tick = metrics.ticks
-                return
-            try:
-                session = context.begin(name, intents)
-            except PolicyViolation:
-                del live[name]
-                dropped.append(name)
-                victim.record.end_tick = metrics.ticks
-                return
-            live[name] = _Live(
-                victim.item, session, victim.record, attempt=victim.attempt + 1
-            )
-
-        while live or pending:
-            if metrics.ticks >= self.max_ticks:
-                raise SimulationError(
-                    f"exceeded {self.max_ticks} ticks with "
-                    f"{sorted(live)} still active"
-                )
-            if not live and pending:
-                # Idle until the next arrival.
-                metrics.ticks = max(metrics.ticks, pending[0].start_tick)
-            metrics.ticks += 1
-            metrics.active_integral += len(live)
-            admit_arrivals()
-            if not live:
-                continue
-
-            # Phase 1: commits.
-            for name in list(live):
-                entry = live[name]
-                try:
-                    step = entry.session.peek()
-                except PolicyViolation as exc:
-                    abort(entry, str(exc))
-                    continue
-                if step is None:
-                    entry.session.on_commit()
-                    entry.record.committed = True
-                    entry.record.end_tick = metrics.ticks
-                    metrics.committed += 1
-                    committed.append(name)
-                    del live[name]
-            if not live:
-                continue  # next arrivals (if any) admit at the top
-
-            # Phase 2: classify.
-            runnable: List[_Live] = []
-            waits_for: Dict[str, Set[str]] = {}
-            aborts: List[Tuple[_Live, str]] = []
-            for name in sorted(live):
-                entry = live[name]
-                step = entry.session.peek()
-                assert step is not None
-                verdict = entry.session.admission()
-                if verdict.verdict is Admission.ABORT:
-                    aborts.append((entry, verdict.reason or "policy violation"))
-                    continue
-                if verdict.verdict is Admission.WAIT:
-                    metrics.policy_wait_observations += 1
-                    entry.record.blocked_ticks += 1
-                    waits_for.setdefault(name, set()).update(
-                        w for w in verdict.waiting_on if w in live
-                    )
-                    continue
-                mode = step.lock_mode
-                if step.is_lock and mode is not None:
-                    blockers = table.blockers(name, step.entity, mode)
-                    if blockers:
-                        metrics.lock_wait_observations += 1
-                        entry.record.blocked_ticks += 1
-                        waits_for.setdefault(name, set()).update(
-                            b for b in blockers if b in live
-                        )
-                        continue
-                runnable.append(entry)
-
-            for entry, reason in aborts:
-                abort(entry, reason)
-            if aborts:
-                continue
-
-            if not runnable:
-                victim_name = _pick_deadlock_victim(waits_for, live)
-                if victim_name is None:
-                    raise SimulationError(
-                        f"livelock: no runnable session and no waits-for cycle "
-                        f"among {sorted(live)}"
-                    )
-                metrics.deadlocks += 1
-                abort(live[victim_name], "deadlock victim")
-                continue
-
-            # Phase 3: execute one step.
-            entry = self.rng.choice(runnable)
-            step = entry.session.peek()
-            assert step is not None
-            name = entry.item.name
-            mode = step.lock_mode
-            if step.is_lock and mode is not None:
-                table.acquire(name, step.entity, mode)
-            elif step.is_unlock and mode is not None:
-                table.release(name, step.entity, mode)
-            events.append(Event(name, entry.step_count, step))
-            entry.step_count += 1
-            entry.session.executed()
-            metrics.events_executed += 1
-            entry.record.steps_executed += 1
-
-        schedule = _assemble(events)
+        run = _Run(self, workload)
+        run.execute()
+        schedule = _assemble(run.events)
         if validate:
             schedule.assert_legal()
             schedule.assert_proper(initial)
         return SimResult(
             schedule=schedule,
-            metrics=metrics,
-            committed=tuple(committed),
-            aborted=tuple(dropped),
-            context=context,
+            metrics=run.metrics,
+            committed=tuple(run.committed),
+            aborted=tuple(run.dropped),
+            context=run.context,
         )
+
+
+class _Run:
+    """State and helpers of one simulation run (both engines)."""
+
+    def __init__(self, sim: Simulator, workload: Sequence[WorkloadItem]):
+        self.rng = sim.rng
+        self.max_ticks = sim.max_ticks
+        self.max_restarts = sim.max_restarts
+        self.event_engine = sim.engine == "event"
+        self.context = sim.policy.create_context(**sim.context_kwargs)
+        self.metrics = Metrics()
+        self.table = LockTable()
+        self.events: List[Event] = []
+        self.live: Dict[str, _Live] = {}
+        self.committed: List[str] = []
+        self.dropped: List[str] = []
+        self.pending: List[WorkloadItem] = sorted(
+            workload, key=lambda it: (it.start_tick, it.name)
+        )
+        self._seq = 0
+        # ---- event-engine state ----------------------------------------
+        #: Sessions whose cached classification must be re-derived.
+        self.dirty: Set[str] = set()
+        #: Live sessions with ``session.dynamic`` (re-examined every tick).
+        self.dynamic: Set[str] = set()
+        #: Non-dynamic sessions whose pending step is None (commit next tick).
+        self.complete: Set[str] = set()
+        #: Names currently classified runnable.
+        self.runnable: Set[str] = set()
+        #: Incremental waits-for graph: blocked session -> blockers.
+        self.waits_for: Dict[str, Set[str]] = {}
+        #: Runnable sessions watching their pending lock's entity.
+        self.watchers: Dict[Entity, Set[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Main loop (shared tick skeleton)
+    # ------------------------------------------------------------------
+
+    def execute(self) -> None:
+        m = self.metrics
+        self.admit_arrivals()
+        tick = self._event_tick if self.event_engine else self._naive_tick
+        while self.live or self.pending:
+            if m.ticks >= self.max_ticks:
+                raise SimulationError(
+                    f"exceeded {self.max_ticks} ticks with "
+                    f"{sorted(self.live)} still active"
+                )
+            if not self.live and self.pending:
+                # Idle until the next arrival.
+                m.ticks = max(m.ticks, self.pending[0].start_tick)
+            m.ticks += 1
+            m.active_integral += len(self.live)
+            self.admit_arrivals()
+            if not self.live:
+                continue
+            tick()
+
+    # ------------------------------------------------------------------
+    # Lifecycle helpers (shared)
+    # ------------------------------------------------------------------
+
+    def admit_arrivals(self) -> None:
+        m = self.metrics
+        while self.pending and self.pending[0].start_tick <= m.ticks:
+            item = self.pending.pop(0)
+            session = self.context.begin(item.name, item.intents)
+            record = TxnRecord(item.name, start_tick=m.ticks)
+            m.records[item.name] = record
+            entry = _Live(item, session, record, seq=self._seq)
+            self._seq += 1
+            self._register(entry)
+
+    def _register(self, entry: _Live) -> None:
+        name = entry.item.name
+        self.live[name] = entry
+        if not self.event_engine:
+            return
+        if self._is_dynamic(entry.session):
+            self.dynamic.add(name)
+        elif entry.session.peek() is None:
+            self.complete.add(name)
+        else:
+            self.dirty.add(name)
+
+    def erase(self, name: str) -> None:
+        self.events[:] = [e for e in self.events if e.txn != name]
+
+    def commit(self, entry: _Live) -> None:
+        name = entry.item.name
+        m = self.metrics
+        entry.session.on_commit()
+        entry.record.committed = True
+        entry.record.end_tick = m.ticks
+        m.committed += 1
+        self.committed.append(name)
+        del self.live[name]
+        self._forget(entry)
+        # A policy that commits while still holding locks used to leak them
+        # forever (later sessions then livelocked with a SimulationError);
+        # commit now implies strictness for whatever is still held.
+        released, woken = self.table.release_all_wake(name)
+        if released:
+            self._wake(woken)
+
+    def abort(self, victim: _Live, reason: str) -> None:
+        m = self.metrics
+        name = victim.item.name
+        m.aborted += 1
+        victim.session.on_abort()
+        self._forget(victim)
+        _, woken = self.table.release_all_wake(name)
+        self._wake(woken)
+        self.erase(name)
+
+        def drop() -> None:
+            del self.live[name]
+            self.dropped.append(name)
+            victim.record.end_tick = m.ticks
+
+        if victim.attempt > self.max_restarts:
+            drop()
+            return
+        intents: Optional[Sequence[Intent]] = victim.item.intents
+        if victim.item.restart is not None:
+            intents = victim.item.restart(name, victim.attempt, self.context)
+        if intents is None:
+            drop()
+            return
+        try:
+            session = self.context.begin(name, intents)
+        except PolicyViolation:
+            drop()
+            return
+        # Count the restart only now that one actually happened — a drop
+        # (restart budget exhausted, strategy gave up, or begin refused the
+        # replanned script) is an abort, not a restart.
+        m.restarts += 1
+        victim.record.restarts += 1
+        entry = _Live(
+            victim.item,
+            session,
+            victim.record,
+            attempt=victim.attempt + 1,
+            seq=victim.seq,
+        )
+        self._register(entry)
+
+    def _execute_step(self, entry: _Live) -> None:
+        m = self.metrics
+        step = entry.session.peek()
+        assert step is not None
+        name = entry.item.name
+        mode = step.lock_mode
+        if step.is_lock and mode is not None:
+            self.table.acquire(name, step.entity, mode)
+            if self.event_engine:
+                # Sessions whose cached classification assumed this entity
+                # was free (watchers) or whose waits-for edges predate this
+                # holder (queued waiters) must be re-derived.
+                self._mark_dirty(self.watchers.get(step.entity, ()), exclude=name)
+                self._mark_dirty(self.table.waiters_of(step.entity), exclude=name)
+        elif step.is_unlock and mode is not None:
+            woken = self.table.release(name, step.entity, mode)
+            self._wake(woken)
+        self.events.append(Event(name, entry.step_count, step))
+        entry.step_count += 1
+        entry.session.executed()
+        m.events_executed += 1
+        entry.record.steps_executed += 1
+        if self.event_engine:
+            self._clear_classification(entry)
+            if name not in self.dynamic:
+                if entry.session.peek() is None:
+                    self.complete.add(name)
+                else:
+                    self.dirty.add(name)
+
+    # ------------------------------------------------------------------
+    # Naive engine: the reference per-tick rescan
+    # ------------------------------------------------------------------
+
+    def _naive_tick(self) -> None:
+        m = self.metrics
+        live = self.live
+        # Phase 1: commits.
+        for name in list(live):
+            entry = live[name]
+            try:
+                step = entry.session.peek()
+            except PolicyViolation as exc:
+                self.abort(entry, str(exc))
+                continue
+            if step is None:
+                self.commit(entry)
+        if not live:
+            return  # next arrivals (if any) admit at the top
+
+        # Phase 2: classify.
+        runnable: List[_Live] = []
+        waits_for: Dict[str, Set[str]] = {}
+        aborts: List[Tuple[_Live, str]] = []
+        for name in sorted(live):
+            entry = live[name]
+            step = entry.session.peek()
+            assert step is not None
+            m.classify_checks += 1
+            m.admission_checks += 1
+            verdict = entry.session.admission()
+            if verdict.verdict is Admission.ABORT:
+                aborts.append((entry, verdict.reason or "policy violation"))
+                continue
+            if verdict.verdict is Admission.WAIT:
+                m.policy_wait_observations += 1
+                entry.record.blocked_ticks += 1
+                waits_for.setdefault(name, set()).update(
+                    w for w in verdict.waiting_on if w in live
+                )
+                continue
+            mode = step.lock_mode
+            if step.is_lock and mode is not None:
+                m.blocker_queries += 1
+                blockers = self.table.blockers(name, step.entity, mode)
+                if blockers:
+                    m.lock_wait_observations += 1
+                    entry.record.blocked_ticks += 1
+                    waits_for.setdefault(name, set()).update(
+                        b for b in blockers if b in live
+                    )
+                    continue
+            runnable.append(entry)
+
+        for entry, reason in aborts:
+            self.abort(entry, reason)
+        if aborts:
+            return
+
+        if not runnable:
+            victim_name = _pick_deadlock_victim(waits_for, live)
+            if victim_name is None:
+                raise SimulationError(
+                    f"livelock: no runnable session and no waits-for cycle "
+                    f"among {sorted(live)}"
+                )
+            m.deadlocks += 1
+            self.abort(live[victim_name], "deadlock victim")
+            return
+
+        # Phase 3: execute one step.
+        self._execute_step(self.rng.choice(runnable))
+
+    # ------------------------------------------------------------------
+    # Event engine
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _is_dynamic(session: PolicySession) -> bool:
+        """A session is treated as dynamic if it says so — or if it
+        overrides :meth:`PolicySession.admission` at all, since a session
+        whose verdict is computed (rather than the constant PROCEED) cannot
+        be safely skipped between ticks whatever its flag claims."""
+        return (
+            session.dynamic
+            or type(session).admission is not PolicySession.admission
+        )
+
+    def _wake(self, names) -> None:
+        """A release returned these waiters in its wake-up set."""
+        if not self.event_engine:
+            return
+        for n in names:
+            if n in self.live and n not in self.dirty:
+                self.dirty.add(n)
+                self.metrics.wakeups += 1
+
+    def _mark_dirty(self, names, exclude: Optional[str] = None) -> None:
+        for n in names:
+            if n != exclude and n in self.live:
+                self.dirty.add(n)
+
+    def _clear_classification(self, entry: _Live) -> None:
+        name = entry.item.name
+        self.runnable.discard(name)
+        self.waits_for.pop(name, None)
+        if entry.state == _LOCK_WAIT:
+            self.table.remove_waiter(name)
+        if entry.watch_entity is not None:
+            watching = self.watchers.get(entry.watch_entity)
+            if watching is not None:
+                watching.discard(name)
+                if not watching:
+                    del self.watchers[entry.watch_entity]
+            entry.watch_entity = None
+        entry.state = _NEW
+
+    def _forget(self, entry: _Live) -> None:
+        """Drop every piece of engine bookkeeping for this incarnation."""
+        name = entry.item.name
+        self._clear_classification(entry)
+        self.dirty.discard(name)
+        self.dynamic.discard(name)
+        self.complete.discard(name)
+
+    def _classify(self, entry: _Live, aborts: List[Tuple[_Live, str]]) -> None:
+        """Re-derive ``entry``'s scheduling state: one iteration of the
+        naive Phase-2 loop, plus lazy accounting for the ticks skipped since
+        the previous classification (during which the session necessarily
+        sat in the same blocked state — nothing that could have changed it
+        happened, or it would have been re-examined sooner)."""
+        m = self.metrics
+        name = entry.item.name
+        now = m.ticks
+        if entry.state in (_LOCK_WAIT, _POLICY_WAIT):
+            skipped = (now - 1) - entry.accrued_to
+            if skipped > 0:
+                entry.record.blocked_ticks += skipped
+                if entry.state == _LOCK_WAIT:
+                    m.lock_wait_observations += skipped
+                else:
+                    m.policy_wait_observations += skipped
+        self._clear_classification(entry)
+        entry.checked_at = now
+        m.classify_checks += 1
+        step = entry.session.peek()
+        assert step is not None
+        if name in self.dynamic:
+            m.admission_checks += 1
+            verdict = entry.session.admission()
+            if verdict.verdict is Admission.ABORT:
+                aborts.append((entry, verdict.reason or "policy violation"))
+                return
+            if verdict.verdict is Admission.WAIT:
+                m.policy_wait_observations += 1
+                entry.record.blocked_ticks += 1
+                entry.state = _POLICY_WAIT
+                entry.accrued_to = now
+                self.waits_for[name] = {
+                    w for w in verdict.waiting_on if w in self.live
+                }
+                return
+        mode = step.lock_mode
+        if step.is_lock and mode is not None:
+            m.blocker_queries += 1
+            blockers = self.table.blockers(name, step.entity, mode)
+            if blockers:
+                m.lock_wait_observations += 1
+                entry.record.blocked_ticks += 1
+                entry.state = _LOCK_WAIT
+                entry.accrued_to = now
+                self.table.add_waiter(name, step.entity, mode)
+                self.waits_for[name] = {b for b in blockers if b in self.live}
+                return
+            # Runnable with a pending lock: watch the entity so a concurrent
+            # acquire invalidates this classification.
+            self.watchers.setdefault(step.entity, set()).add(name)
+            entry.watch_entity = step.entity
+        entry.state = _RUNNABLE
+        self.runnable.add(name)
+
+    def _event_tick(self) -> None:
+        m = self.metrics
+        live = self.live
+        # Phase 1: commits/phase-1 aborts.  Only sessions that can act here
+        # — dynamic ones (whose peek replans against present shared state
+        # and may raise or drain to None) and finished scripted ones — are
+        # visited, in admission order, matching the naive engine's
+        # insertion-order scan over all of live.
+        candidates = [n for n in self.complete | self.dynamic if n in live]
+        for name in sorted(candidates, key=lambda n: live[n].seq):
+            entry = live.get(name)
+            if entry is None:
+                continue
+            try:
+                step = entry.session.peek()
+            except PolicyViolation as exc:
+                self.abort(entry, str(exc))
+                continue
+            if step is None:
+                self.commit(entry)
+        if not live:
+            return
+
+        # Phase 2: classify only sessions whose cached state may have
+        # changed — the dirty set (woken waiters, invalidated watchers,
+        # executors, fresh admissions) plus every dynamic session.
+        check = [
+            n
+            for n in self.dirty | self.dynamic
+            if n in live and n not in self.complete
+        ]
+        self.dirty.clear()
+        aborts: List[Tuple[_Live, str]] = []
+        for name in sorted(check):
+            self._classify(live[name], aborts)
+        for entry, reason in aborts:
+            self.abort(entry, reason)
+        if aborts:
+            return
+
+        if not self.runnable:
+            # Deadlock path (and safety net): re-validate every cached
+            # classification, exactly as the naive engine implicitly does
+            # each tick, so the waits-for graph is fully fresh before cycle
+            # detection and blocked-time accounting catches up.
+            stale_aborts: List[Tuple[_Live, str]] = []
+            for name in sorted(live):
+                entry = live[name]
+                if entry.checked_at != m.ticks:
+                    self._classify(entry, stale_aborts)
+            assert not stale_aborts, "non-dynamic sessions cannot abort in classify"
+            if not self.runnable:
+                victim_name = _pick_deadlock_victim(self.waits_for, live)
+                if victim_name is None:
+                    raise SimulationError(
+                        f"livelock: no runnable session and no waits-for cycle "
+                        f"among {sorted(live)}"
+                    )
+                m.deadlocks += 1
+                self.abort(live[victim_name], "deadlock victim")
+                return
+
+        # Phase 3: execute one step.
+        self._execute_step(live[self.rng.choice(sorted(self.runnable))])
 
 
 def _assemble(events: Sequence[Event]) -> Schedule:

@@ -1,0 +1,282 @@
+"""Equivalence of the event-driven scheduler against the naive reference.
+
+The naive engine (re-classify every live session every tick) is the
+executable specification; the event-driven engine must reproduce its
+behaviour *exactly* on the same seed — identical schedules, identical
+commit/abort outcomes, identical metric summaries and per-transaction
+records — while performing strictly less classification work on
+blocking-heavy workloads.
+"""
+
+import pytest
+
+from repro.core import LockMode, StructuralState
+from repro.exceptions import SimulationError
+from repro.graphs import random_rooted_dag
+from repro.policies import (
+    AltruisticPolicy,
+    BrokenAltruisticPolicy,
+    DdagPolicy,
+    DtrPolicy,
+    FreeForAllPolicy,
+    TwoPhasePolicy,
+)
+from repro.sim import (
+    LockTable,
+    Simulator,
+    dynamic_traversal_workload,
+    fig3_dag,
+    fig3_workload,
+    long_transaction_workload,
+    random_access_workload,
+    stress_workload,
+    traversal_workload,
+)
+
+SEEDS = range(4)
+
+
+def both_engines(policy_factory, items, initial, seed, context_kwargs=None):
+    """Run the same workload under both engines; each gets a fresh policy
+    object and RNG so the seed streams are independent and identical."""
+    out = {}
+    for engine in ("naive", "event"):
+        sim = Simulator(
+            policy_factory(),
+            seed=seed,
+            engine=engine,
+            context_kwargs=dict(context_kwargs or {}),
+        )
+        try:
+            out[engine] = ("ok", sim.run(items, initial, validate=False))
+        except SimulationError as exc:
+            out[engine] = ("error", str(exc))
+    return out["naive"], out["event"]
+
+
+def assert_equivalent(policy_factory, workload_factory, context_kwargs_factory=None,
+                      seeds=SEEDS):
+    for seed in seeds:
+        items, initial = workload_factory(seed)
+        kwargs = context_kwargs_factory(seed) if context_kwargs_factory else {}
+        (nk, naive), (ek, event) = both_engines(
+            policy_factory, items, initial, seed, kwargs
+        )
+        assert nk == ek, f"seed {seed}: outcomes diverge ({nk} vs {ek})"
+        if nk == "error":
+            assert naive == event, f"seed {seed}: error messages diverge"
+            continue
+        assert naive.schedule.events == event.schedule.events, (
+            f"seed {seed}: schedules diverge"
+        )
+        assert naive.committed == event.committed
+        assert naive.aborted == event.aborted
+        assert naive.metrics.summary() == event.metrics.summary(), (
+            f"seed {seed}: metric summaries diverge"
+        )
+        for name, rn in naive.metrics.records.items():
+            re_ = event.metrics.records[name]
+            assert (
+                rn.start_tick, rn.end_tick, rn.committed, rn.restarts,
+                rn.steps_executed, rn.blocked_ticks,
+            ) == (
+                re_.start_tick, re_.end_tick, re_.committed, re_.restarts,
+                re_.steps_executed, re_.blocked_ticks,
+            ), f"seed {seed}: record for {name} diverges"
+
+
+class TestEquivalence:
+    def test_two_phase_long_transactions(self):
+        assert_equivalent(
+            TwoPhasePolicy,
+            lambda s: long_transaction_workload(8, 4, seed=s, short_start=10),
+        )
+
+    def test_two_phase_shared_locks(self):
+        assert_equivalent(
+            lambda: TwoPhasePolicy(use_shared_locks=True),
+            lambda s: random_access_workload(6, 5, seed=s),
+        )
+
+    def test_two_phase_conservative(self):
+        assert_equivalent(
+            lambda: TwoPhasePolicy(conservative=True),
+            lambda s: random_access_workload(5, 5, seed=s),
+        )
+
+    def test_two_phase_deadlock_heavy(self):
+        # Unordered access sets on a tiny hot entity space: deadlock cycles
+        # and victim aborts every few ticks, exercising the full-revalidation
+        # path and restart bookkeeping.
+        assert_equivalent(
+            TwoPhasePolicy,
+            lambda s: random_access_workload(4, 6, accesses_per_txn=3, seed=s),
+            seeds=range(8),
+        )
+
+    def test_altruistic_long_transactions(self):
+        assert_equivalent(
+            AltruisticPolicy,
+            lambda s: long_transaction_workload(
+                10, 4, seed=s, region="leading", short_start=12
+            ),
+        )
+
+    def test_broken_altruistic(self):
+        assert_equivalent(
+            BrokenAltruisticPolicy,
+            lambda s: long_transaction_workload(8, 4, seed=s),
+        )
+
+    def test_dtr_random_access(self):
+        assert_equivalent(
+            DtrPolicy, lambda s: random_access_workload(8, 5, seed=s)
+        )
+
+    def test_free_for_all(self):
+        assert_equivalent(
+            FreeForAllPolicy, lambda s: random_access_workload(4, 5, seed=s)
+        )
+
+    def test_ddag_traversals(self):
+        assert_equivalent(
+            DdagPolicy,
+            lambda s: traversal_workload(
+                random_rooted_dag(8, 0.3, seed=s), 5, 4, seed=s
+            ),
+            lambda s: {"dag": random_rooted_dag(8, 0.3, seed=s).snapshot()},
+        )
+
+    def test_ddag_dynamic_traversals(self):
+        # Structural churn: L5 aborts, replans, tombstones.
+        assert_equivalent(
+            DdagPolicy,
+            lambda s: dynamic_traversal_workload(
+                random_rooted_dag(8, 0.3, seed=s), 5, 4, seed=s
+            ),
+            lambda s: {"dag": random_rooted_dag(8, 0.3, seed=s).snapshot()},
+        )
+
+    def test_ddag_fig3(self):
+        assert_equivalent(
+            DdagPolicy,
+            lambda s: fig3_workload(),
+            lambda s: {"dag": fig3_dag()},
+        )
+
+    def test_stress_workload_small(self):
+        assert_equivalent(
+            TwoPhasePolicy,
+            lambda s: stress_workload(30, 60, seed=s),
+            seeds=range(2),
+        )
+
+
+class TestEventEngineWins:
+    def test_fewer_classifications_on_blocking_workload(self):
+        """The event engine must do strictly less classification work than
+        the naive rescan whenever sessions sit blocked."""
+        items, initial = stress_workload(60, 120, seed=1)
+        results = {}
+        for engine in ("naive", "event"):
+            results[engine] = Simulator(
+                TwoPhasePolicy(), seed=1, engine=engine
+            ).run(items, initial)
+        naive_m, event_m = results["naive"].metrics, results["event"].metrics
+        assert results["naive"].schedule.events == results["event"].schedule.events
+        assert event_m.classify_checks < naive_m.classify_checks / 5, (
+            f"expected a big classification saving, got "
+            f"{event_m.classify_checks} vs {naive_m.classify_checks}"
+        )
+        assert event_m.blocker_queries < naive_m.blocker_queries
+        assert event_m.wakeups > 0
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="unknown engine"):
+            Simulator(TwoPhasePolicy(), engine="psychic")
+
+
+class TestWaitQueues:
+    def test_release_returns_wake_set(self):
+        t = LockTable()
+        t.acquire("T1", "a", LockMode.EXCLUSIVE)
+        t.add_waiter("T2", "a", LockMode.EXCLUSIVE)
+        t.add_waiter("T3", "a", LockMode.SHARED)
+        assert t.waiters_of("a") == ["T2", "T3"]
+        woken = t.release("T1", "a", LockMode.EXCLUSIVE)
+        assert woken == ["T2", "T3"]
+
+    def test_release_of_unheld_mode_wakes_nobody(self):
+        t = LockTable()
+        t.acquire("T1", "a", LockMode.EXCLUSIVE)
+        t.add_waiter("T2", "a", LockMode.EXCLUSIVE)
+        assert t.release("T1", "a", LockMode.SHARED) == []
+
+    def test_partial_upgrade_release_wakes_nobody(self):
+        # Dropping the SHARED half of an upgrade leaves the EXCLUSIVE grant
+        # in place: nothing a waiter could be granted on changed, so no
+        # spurious wake-up (and no wasted re-classification downstream).
+        t = LockTable()
+        t.acquire("T1", "a", LockMode.SHARED)
+        t.acquire("T1", "a", LockMode.EXCLUSIVE)
+        t.add_waiter("T2", "a", LockMode.SHARED)
+        assert t.release("T1", "a", LockMode.SHARED) == []
+        # Downgrading EXCLUSIVE -> SHARED is a real weakening: wake.
+        t.acquire("T1", "a", LockMode.SHARED)
+        assert t.release("T1", "a", LockMode.EXCLUSIVE) == ["T2"]
+
+    def test_release_all_wake_combines_entities(self):
+        t = LockTable()
+        t.acquire("T1", "a", LockMode.EXCLUSIVE)
+        t.acquire("T1", "b", LockMode.EXCLUSIVE)
+        t.add_waiter("T2", "a", LockMode.EXCLUSIVE)
+        t.add_waiter("T3", "b", LockMode.EXCLUSIVE)
+        released, woken = t.release_all_wake("T1")
+        assert {e for e, _ in released} == {"a", "b"}
+        assert set(woken) == {"T2", "T3"}
+        assert t.held_by("T1") == {}
+
+    def test_release_all_clears_own_waiter_registration(self):
+        t = LockTable()
+        t.acquire("T1", "a", LockMode.EXCLUSIVE)
+        t.add_waiter("T1", "b", LockMode.EXCLUSIVE)
+        t.release_all("T1")
+        assert t.waiters_of("b") == []
+        assert t.waiting_entity("T1") is None
+
+    def test_waiter_moves_between_entities(self):
+        t = LockTable()
+        t.add_waiter("T2", "a", LockMode.EXCLUSIVE)
+        t.add_waiter("T2", "b", LockMode.EXCLUSIVE)
+        assert t.waiters_of("a") == []
+        assert t.waiters_of("b") == ["T2"]
+        assert t.waiting_entity("T2") == "b"
+        t.remove_waiter("T2")
+        assert t.waiters_of("b") == []
+        assert t.waiting_entity("T2") is None
+
+
+class TestStressWorkload:
+    def test_ordered_and_arrivals(self):
+        items, initial = stress_workload(50, 40, arrival_rate=2.0, seed=3)
+        assert len(items) == 40
+        # Arrivals are staggered at roughly the requested rate.
+        assert items[-1].start_tick == int(39 / 2.0)
+        # Ordered access sets: each transaction locks in global entity order.
+        for item in items:
+            ids = [int(i.entity[1:]) for i in item.intents]
+            assert ids == sorted(ids)
+
+    def test_unordered_variant(self):
+        items, _ = stress_workload(50, 200, ordered=False, seed=3)
+        assert any(
+            [int(i.entity[1:]) for i in item.intents]
+            != sorted(int(i.entity[1:]) for i in item.intents)
+            for item in items
+        )
+
+    def test_completes_under_event_engine(self):
+        items, initial = stress_workload(80, 150, seed=0)
+        result = Simulator(TwoPhasePolicy(), seed=0).run(items, initial)
+        assert result.metrics.committed == 150
+        assert result.ok

@@ -1,0 +1,390 @@
+"""Regression tests for the scheduler/lock-table correctness sweep:
+
+1. a policy that commits while holding locks no longer leaks them (later
+   sessions used to livelock with a SimulationError);
+2. restart accounting counts only actual restarts, not drops;
+3. lock upgrades (SHARED then EXCLUSIVE) keep coherent release semantics;
+4. ``run_cell`` cannot report an all-failed cell as serializable;
+
+plus direct unit coverage of the deadlock machinery
+(``_pick_deadlock_victim`` / ``_find_cycle``) and the livelock error path.
+"""
+
+import pytest
+
+from repro.core import LockMode, Operation, Step, StructuralState
+from repro.exceptions import PolicyViolation, SimulationError
+from repro.policies import Access, TwoPhasePolicy
+from repro.policies.base import (
+    Admission,
+    AdmissionResult,
+    LockingPolicy,
+    PolicyContext,
+    PolicySession,
+    ScriptedSession,
+    access_steps,
+)
+from repro.sim import LockTable, Simulator, WorkloadItem, run_cell
+from repro.sim.metrics import TxnRecord
+from repro.sim.scheduler import _Live, _find_cycle, _pick_deadlock_victim
+
+
+ENGINES = ("event", "naive")
+
+
+# ----------------------------------------------------------------------
+# Test policies
+# ----------------------------------------------------------------------
+
+
+class _LeakyContext(PolicyContext):
+    """Sessions lock and access but never unlock: they commit while holding
+    their whole footprint."""
+
+    def begin(self, name, intents):
+        steps = []
+        for intent in intents:
+            assert isinstance(intent, Access)
+            steps.append(Step(Operation.LOCK_EXCLUSIVE, intent.entity))
+            steps.extend(access_steps(intent.entity))
+        return ScriptedSession(name, steps)
+
+
+class LeakyPolicy(LockingPolicy):
+    name = "Leaky"
+
+    def create_context(self, **kwargs):
+        return _LeakyContext()
+
+
+class _AbortingSession(PolicySession):
+    """Admission always says ABORT; the pending step never executes."""
+
+    dynamic = True
+
+    def peek(self):
+        return Step(Operation.LOCK_EXCLUSIVE, "a")
+
+    def executed(self):
+        raise AssertionError("an always-aborting session must never run")
+
+    def admission(self):
+        return AdmissionResult(Admission.ABORT, reason="always aborts")
+
+
+class _LyingAbortingSession(_AbortingSession):
+    """Claims to be static while overriding admission(): the scheduler must
+    treat it as dynamic anyway (the flag only covers the default PROCEED)."""
+
+    dynamic = False
+
+
+class _AbortingContext(PolicyContext):
+    def __init__(self, begins_allowed):
+        self.begins_allowed = begins_allowed
+        self.begins = 0
+
+    def begin(self, name, intents):
+        self.begins += 1
+        if self.begins > self.begins_allowed:
+            raise PolicyViolation("TEST", "no more begins")
+        return self.session_cls(name)
+
+
+class AbortingPolicy(LockingPolicy):
+    name = "AlwaysAbort"
+    session_cls = _AbortingSession
+
+    def create_context(self, begins_allowed=10**9, **kwargs):
+        ctx = _AbortingContext(begins_allowed)
+        ctx.session_cls = self.session_cls
+        return ctx
+
+
+class LyingAbortingPolicy(AbortingPolicy):
+    name = "AlwaysAbort-lying"
+    session_cls = _LyingAbortingSession
+
+
+class _WaitForeverSession(PolicySession):
+    """Admission WAITs on a transaction that is not in the run: the
+    waits-for graph stays acyclic and the scheduler must diagnose a
+    livelock rather than spin."""
+
+    dynamic = True
+
+    def peek(self):
+        return Step(Operation.LOCK_EXCLUSIVE, "a")
+
+    def executed(self):
+        raise AssertionError("never runs")
+
+    def admission(self):
+        return AdmissionResult(Admission.WAIT, waiting_on=("GHOST",))
+
+
+class _WaitForeverContext(PolicyContext):
+    def begin(self, name, intents):
+        return _WaitForeverSession(name)
+
+
+class WaitForeverPolicy(LockingPolicy):
+    name = "WaitForever"
+
+    def create_context(self, **kwargs):
+        return _WaitForeverContext()
+
+
+# ----------------------------------------------------------------------
+# 1. Commit releases held locks
+# ----------------------------------------------------------------------
+
+
+class TestCommitReleasesLocks:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_later_session_runs_after_leaky_commit(self, engine):
+        # T1 commits while holding "a"; T2 arrives afterwards and needs it.
+        # Before the fix T1's lock leaked forever and T2 livelocked.
+        items = [
+            WorkloadItem("T1", [Access("a")]),
+            WorkloadItem("T2", [Access("a")], start_tick=10),
+        ]
+        result = Simulator(LeakyPolicy(), seed=0, engine=engine).run(
+            items, StructuralState.of("a"), validate=False
+        )
+        assert result.committed == ("T1", "T2")
+        assert result.ok
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_concurrent_contenders_all_commit(self, engine):
+        items = [WorkloadItem(f"T{i}", [Access("a"), Access("b")]) for i in range(4)]
+        result = Simulator(LeakyPolicy(), seed=1, engine=engine).run(
+            items, StructuralState.of("a", "b"), validate=False
+        )
+        assert result.metrics.committed == 4
+
+
+# ----------------------------------------------------------------------
+# 2. Restart accounting
+# ----------------------------------------------------------------------
+
+
+class TestRestartAccounting:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_drop_via_restart_none_counts_no_restart(self, engine):
+        items = [
+            WorkloadItem("T1", [Access("a")], restart=lambda n, a, c: None)
+        ]
+        result = Simulator(AbortingPolicy(), seed=0, engine=engine).run(
+            items, StructuralState.of("a"), validate=False
+        )
+        assert result.aborted == ("T1",)
+        m = result.metrics
+        assert m.aborted == 1
+        assert m.restarts == 0, "a drop is not a restart"
+        assert m.records["T1"].restarts == 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_drop_via_begin_refusal_counts_no_restart(self, engine):
+        items = [WorkloadItem("T1", [Access("a")])]
+        sim = Simulator(
+            AbortingPolicy(),
+            seed=0,
+            engine=engine,
+            context_kwargs={"begins_allowed": 1},
+        )
+        result = sim.run(items, StructuralState.of("a"), validate=False)
+        assert result.aborted == ("T1",)
+        assert result.metrics.restarts == 0
+        assert result.metrics.records["T1"].restarts == 0
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_exhausted_budget_counts_each_actual_restart(self, engine):
+        items = [WorkloadItem("T1", [Access("a")])]
+        sim = Simulator(AbortingPolicy(), seed=0, engine=engine, max_restarts=3)
+        result = sim.run(items, StructuralState.of("a"), validate=False)
+        assert result.aborted == ("T1",)
+        m = result.metrics
+        # Attempts 1..4 abort; attempts 2..4 were actual restarts.
+        assert m.aborted == 4
+        assert m.restarts == 3
+        assert m.records["T1"].restarts == 3
+
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_overridden_admission_enforced_despite_static_flag(self, engine):
+        # dynamic=False only covers the default always-PROCEED admission; a
+        # session that overrides admission() must still be re-checked, so
+        # the ABORT verdict fires under both engines.
+        items = [
+            WorkloadItem("T1", [Access("a")], restart=lambda n, a, c: None)
+        ]
+        result = Simulator(LyingAbortingPolicy(), seed=0, engine=engine).run(
+            items, StructuralState.of("a"), validate=False
+        )
+        assert result.aborted == ("T1",)
+
+
+# ----------------------------------------------------------------------
+# 3. Lock upgrades
+# ----------------------------------------------------------------------
+
+
+class TestLockUpgrade:
+    def test_release_shared_after_upgrade_keeps_exclusive(self):
+        t = LockTable()
+        t.acquire("T1", "a", LockMode.SHARED)
+        t.acquire("T1", "a", LockMode.EXCLUSIVE)  # self-upgrade
+        assert t.modes_held("T1", "a") == {LockMode.SHARED, LockMode.EXCLUSIVE}
+        assert t.release("T1", "a", LockMode.SHARED) == []
+        # The exclusive grant must survive the shared release...
+        assert t.mode_held("T1", "a") is LockMode.EXCLUSIVE
+        assert t.blockers("T2", "a", LockMode.SHARED) == ["T1"]
+        # ...and releasing it actually frees the entity (the old overwrite
+        # semantics made the SHARED release a silent no-op and leaked the
+        # exclusive lock until abort).
+        t.release("T1", "a", LockMode.EXCLUSIVE)
+        assert t.mode_held("T1", "a") is None
+        assert t.grantable("T2", "a", LockMode.EXCLUSIVE)
+
+    def test_release_exclusive_after_upgrade_downgrades(self):
+        t = LockTable()
+        t.acquire("T1", "a", LockMode.SHARED)
+        t.acquire("T1", "a", LockMode.EXCLUSIVE)
+        t.release("T1", "a", LockMode.EXCLUSIVE)
+        assert t.mode_held("T1", "a") is LockMode.SHARED
+        assert t.grantable("T2", "a", LockMode.SHARED)
+        assert not t.grantable("T2", "a", LockMode.EXCLUSIVE)
+
+    def test_held_by_and_release_all_report_strongest_mode(self):
+        t = LockTable()
+        t.acquire("T1", "a", LockMode.SHARED)
+        t.acquire("T1", "a", LockMode.EXCLUSIVE)
+        assert t.held_by("T1") == {"a": LockMode.EXCLUSIVE}
+        assert t.release_all("T1") == [("a", LockMode.EXCLUSIVE)]
+        assert t.locked_entities() == frozenset()
+
+
+# ----------------------------------------------------------------------
+# 4. run_cell zero-run reporting
+# ----------------------------------------------------------------------
+
+
+class TestRunCellZeroRuns:
+    def test_all_failed_cell_is_not_green(self):
+        def factory(seed):
+            items = [
+                WorkloadItem("T1", [Access("a"), Access("b")]),
+                WorkloadItem("T2", [Access("b"), Access("a")]),
+            ]
+            return items, StructuralState.of("a", "b")
+
+        cell = run_cell(
+            TwoPhasePolicy(), "doomed", factory, seeds=range(3), max_ticks=2
+        )
+        assert cell.runs == 0
+        assert cell.failures == 3
+        assert cell.means == {}
+        assert cell.all_serializable is False, (
+            "a cell whose every seed failed must not report serializable"
+        )
+        assert cell.row()["serializable"] is False
+
+
+# ----------------------------------------------------------------------
+# Deadlock machinery units
+# ----------------------------------------------------------------------
+
+
+def _live_entry(name, steps_executed=0, structural=False):
+    steps = [Step(Operation.INSERT if structural else Operation.READ, "x")]
+    session = ScriptedSession(name, steps)
+    if structural:
+        session.executed()  # records the structural effect
+    entry = _Live(
+        item=WorkloadItem(name, []),
+        session=session,
+        record=TxnRecord(name, start_tick=0),
+    )
+    entry.step_count = steps_executed
+    return entry
+
+
+class TestFindCycle:
+    def test_no_cycle_returns_none(self):
+        assert _find_cycle({"A": {"B"}, "B": {"C"}, "C": set()}) is None
+
+    def test_self_loop(self):
+        assert _find_cycle({"A": {"A"}}) == ["A"]
+
+    def test_cycle_members_only(self):
+        graph = {"A": {"B"}, "B": {"C"}, "C": {"B"}}
+        cycle = _find_cycle(graph)
+        assert cycle is not None
+        assert set(cycle) == {"B", "C"}
+
+    def test_finds_cycle_beyond_first_component(self):
+        graph = {"A": set(), "B": {"C"}, "C": {"B"}}
+        assert set(_find_cycle(graph)) == {"B", "C"}
+
+
+class TestPickDeadlockVictim:
+    def test_no_cycle_is_livelock(self):
+        live = {n: _live_entry(n) for n in "AB"}
+        assert _pick_deadlock_victim({"A": {"B"}}, live) is None
+
+    def test_prefers_fewest_steps(self):
+        live = {
+            "A": _live_entry("A", steps_executed=5),
+            "B": _live_entry("B", steps_executed=2),
+        }
+        graph = {"A": {"B"}, "B": {"A"}}
+        assert _pick_deadlock_victim(graph, live) == "B"
+
+    def test_prefers_no_structural_effects_over_fewer_steps(self):
+        live = {
+            "A": _live_entry("A", steps_executed=1, structural=True),
+            "B": _live_entry("B", steps_executed=9),
+        }
+        graph = {"A": {"B"}, "B": {"A"}}
+        assert _pick_deadlock_victim(graph, live) == "B"
+
+    def test_name_breaks_ties(self):
+        live = {n: _live_entry(n, steps_executed=3) for n in "BA"}
+        graph = {"A": {"B"}, "B": {"A"}}
+        assert _pick_deadlock_victim(graph, live) == "A"
+
+    def test_victim_outside_cycle_never_picked(self):
+        # D waits into the cycle but is not on it; the victim must come
+        # from the cycle itself.
+        live = {n: _live_entry(n) for n in "ABD"}
+        live["D"].step_count = 0
+        graph = {"A": {"B"}, "B": {"A"}, "D": {"A"}}
+        assert _pick_deadlock_victim(graph, live) in {"A", "B"}
+
+
+class TestLivelockDiagnosis:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_acyclic_wait_reports_livelock(self, engine):
+        items = [WorkloadItem("T1", [Access("a")])]
+        with pytest.raises(SimulationError, match="livelock"):
+            Simulator(WaitForeverPolicy(), seed=0, engine=engine).run(
+                items, StructuralState.of("a"), validate=False
+            )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_deadlock_is_resolved_not_livelock(self, engine):
+        # Two 2PL transactions locking in opposite orders will eventually
+        # deadlock on some seed; the detector must abort a victim and finish.
+        items = [
+            WorkloadItem("T1", [Access("a"), Access("b")]),
+            WorkloadItem("T2", [Access("b"), Access("a")]),
+        ]
+        saw_deadlock = False
+        for seed in range(12):
+            result = Simulator(TwoPhasePolicy(), seed=seed, engine=engine).run(
+                items, StructuralState.of("a", "b")
+            )
+            assert result.metrics.committed == 2
+            saw_deadlock |= result.metrics.deadlocks > 0
+        assert saw_deadlock, "expected at least one seed to deadlock"
