@@ -46,6 +46,15 @@ from .base import (
 )
 
 
+def al_item_channel(item: Entity) -> Tuple[str, Entity]:
+    """Invalidation channel for the wake state of ``item``: whether it sits
+    in some active pre-locked-point donor's donated set.  An AL2 verdict
+    can only flip through the items of ``locked_past ∪ {pending}``, so
+    donations, locked-point arrivals, and donor departures notify exactly
+    the item channels they touch."""
+    return ("al-item", item)
+
+
 class AltruisticContext(PolicyContext):
     """Shared wake bookkeeping across the active transactions."""
 
@@ -69,6 +78,12 @@ class AltruisticContext(PolicyContext):
             if n != exclude and s.donated and not s.reached_locked_point
         ]
 
+    def wake_changed(self, items) -> None:
+        """The wake state of ``items`` changed (a donation, a donor
+        reaching its locked point, or a pre-locked-point donor leaving):
+        invalidate the sessions whose cached AL2 verdict involves them."""
+        self.notify_changed(tuple(al_item_channel(x) for x in items))
+
 
 class AltruisticSession(PolicySession):
     """Online altruistic-locking state machine for one transaction.
@@ -81,7 +96,10 @@ class AltruisticSession(PolicySession):
     """
 
     #: AL2 admission consults the other active sessions' donations and
-    #: locked points — shared state that moves on every lock/unlock.
+    #: locked points — shared state, but reachable only through the items
+    #: this session has locked or wants next, which is exactly what
+    #: :meth:`admission_dependencies` declares; the scheduler re-examines
+    #: the session only when one of those item channels is notified.
     dynamic = True
 
     def __init__(
@@ -205,23 +223,47 @@ class AltruisticSession(PolicySession):
             return AdmissionResult(Admission.WAIT, waiting_on=tuple(blockers))
         return PROCEED
 
+    def admission_dependencies(self):
+        """An AL2 verdict for a pending lock reads, per active donor, only
+        ``after & donor.donated`` and ``after ⊆ donor.donated`` with
+        ``after = locked_past ∪ {pending}`` — both can change only through
+        the wake state of items *in* ``after``, so those item channels are
+        the complete dependency set."""
+        step = self.queue[0] if self.queue else None
+        if step is None or not step.is_lock:
+            return ()
+        return tuple(
+            al_item_channel(x)
+            for x in sorted(self.locked_past | {step.entity}, key=repr)
+        )
+
     def executed(self) -> None:
         step = self.queue.pop(0)
         if step.is_lock:
+            before = self.reached_locked_point
             self.locked_past.add(step.entity)
             self.held.add(step.entity)
+            if self.donated and not before and self.reached_locked_point:
+                # The wake dissolves: sessions confined to our donations
+                # may now lock anything (the Fig. 4 release moment).
+                self.context.wake_changed(sorted(self.donated, key=repr))
         elif step.is_unlock:
             self.held.discard(step.entity)
             if not self.reached_locked_point:
                 self.donated.add(step.entity)
+                self.context.wake_changed((step.entity,))
         elif step.op.is_structural:
             self._structural = True
 
     def on_commit(self) -> None:
         self.context.sessions.pop(self.name, None)
+        if self.donated and not self.reached_locked_point:
+            self.context.wake_changed(sorted(self.donated, key=repr))
 
     def on_abort(self) -> None:
         self.context.sessions.pop(self.name, None)
+        if self.donated and not self.reached_locked_point:
+            self.context.wake_changed(sorted(self.donated, key=repr))
 
     @property
     def has_structural_effects(self) -> bool:

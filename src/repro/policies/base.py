@@ -30,7 +30,7 @@ from __future__ import annotations
 import enum
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Callable, Hashable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..core.operations import LockMode
 from ..core.steps import Entity, Step
@@ -150,15 +150,17 @@ class PolicySession(ABC):
     """Per-transaction state machine producing locked steps."""
 
     #: Whether :meth:`peek`/:meth:`admission` consult *shared* mutable state
-    #: (the DDAG graph, the altruistic wake bookkeeping) and must therefore
-    #: be re-evaluated every tick.  A session may set this False only when
-    #: its :meth:`peek` is a pure function of its own state *and* it keeps
-    #: the default always-PROCEED :meth:`admission`; the event-driven
-    #: scheduler then skips it until a lock event or its own execution
-    #: invalidates the cached classification.  (Overriding
+    #: (the DDAG graph, the altruistic wake bookkeeping).  A session may set
+    #: this False only when its :meth:`peek` is a pure function of its own
+    #: state *and* it keeps the default always-PROCEED :meth:`admission`;
+    #: the event-driven scheduler then skips it until a lock event or its
+    #: own execution invalidates the cached classification.  (Overriding
     #: :meth:`admission` makes the scheduler treat the session as dynamic
-    #: regardless of this flag.)  Defaults to True — the conservative
-    #: choice for custom sessions.
+    #: regardless of this flag.)  A dynamic session is re-evaluated every
+    #: tick unless it also declares :meth:`admission_dependencies`, in
+    #: which case the scheduler re-evaluates it only when a declared
+    #: channel is notified.  Defaults to True — the conservative choice
+    #: for custom sessions.
     dynamic: bool = True
 
     def __init__(self, name: str):
@@ -179,6 +181,36 @@ class PolicySession(ABC):
         *present* shared state.  Default: always proceed."""
         return PROCEED
 
+    def admission_dependencies(self) -> Optional[Iterable[Hashable]]:
+        """Declare the *invalidation channels* whose change can flip this
+        session's cached scheduling decision (its :meth:`admission` verdict
+        or the ``waiting_on`` set attached to a WAIT).
+
+        ``None`` (the default) means the session cannot enumerate them; the
+        event-driven scheduler then falls back to re-examining the session
+        every tick — the conservative behaviour dynamic sessions always had.
+
+        Returning an iterable of hashable channel keys (possibly empty)
+        opts the session into policy-aware invalidation: the scheduler
+        caches its classification, subscribes it to the declared channels,
+        and re-derives the classification only when
+
+        * the context reports a change on a subscribed channel
+          (:meth:`PolicyContext.notify_changed`),
+        * a lock event touches the session (wake-up, watched acquire), or
+        * the session executes a step of its own.
+
+        Contract: between two of the session's own executions, **every**
+        shared-state mutation that can alter its verdict must be covered by
+        a declared channel that the mutating code notifies; over-reporting
+        (spurious notifications, extra channels) is always safe, silent
+        under-reporting breaks naive/event equivalence.  The declaration is
+        re-read each time the scheduler caches a classification, so it may
+        track the pending step; a session that has returned an iterable
+        must keep returning iterables for the rest of its life.
+        """
+        return None
+
     def on_commit(self) -> None:
         """Called when the transaction finishes (all intents executed)."""
 
@@ -194,11 +226,40 @@ class PolicySession(ABC):
 
 
 class PolicyContext(ABC):
-    """Shared state of one concurrent run under a policy."""
+    """Shared state of one concurrent run under a policy.
+
+    Besides spawning sessions, the context is the policy side of the
+    scheduler's invalidation protocol: policy code that mutates shared
+    state (a graph edge insert, a donation, a wake dissolving) reports the
+    affected channels through :meth:`notify_changed`, and the event-driven
+    scheduler — having subscribed each session to the channels it declared
+    via :meth:`PolicySession.admission_dependencies` — re-examines exactly
+    the sessions whose cached verdicts the change can flip.
+    """
+
+    #: Change listener installed by the event-driven scheduler (class-level
+    #: ``None`` default so subclasses need not call ``super().__init__``).
+    _change_listener: Optional[Callable[[Tuple[Hashable, ...]], None]] = None
 
     @abstractmethod
     def begin(self, name: str, intents: Sequence[Intent]) -> PolicySession:
         """Start a transaction with the given intent script."""
+
+    def set_change_listener(
+        self, listener: Optional[Callable[[Tuple[Hashable, ...]], None]]
+    ) -> None:
+        """Install the scheduler callback that receives change
+        notifications (one per run; the naive engine installs none)."""
+        self._change_listener = listener
+
+    def notify_changed(self, channels: Iterable[Hashable]) -> None:
+        """Report that shared state observable through ``channels`` changed.
+
+        Called by policy code on structural mutations and wake-state
+        updates; a no-op when no scheduler listener is installed (the
+        naive engine re-checks everything every tick anyway)."""
+        if self._change_listener is not None:
+            self._change_listener(tuple(channels))
 
     def entities(self) -> Iterable[Entity]:
         """The entities currently known to the context (for properness

@@ -62,6 +62,13 @@ def _is_edge_entity(entity: Entity) -> bool:
     return isinstance(entity, tuple) and len(entity) == 3 and entity[0] == "edge"
 
 
+def ddag_node_channel(node: Entity) -> Tuple[str, Entity]:
+    """Invalidation channel for rule L5's view of ``node``: its existence
+    and its in-edge set in the present graph.  Every graph mutation that
+    can change either notifies this channel."""
+    return ("ddag-node", node)
+
+
 class Unlock:
     """An explicit unlock intent, for scripting the paper's exact traces.
 
@@ -99,8 +106,10 @@ class DdagContext(PolicyContext):
 class DdagSession(PolicySession):
     """Online DDAG state machine for one transaction."""
 
-    #: Rule L5 consults the *present* graph, so planning and admission must
-    #: be re-evaluated against shared state every tick.
+    #: Rule L5 consults the *present* graph — but only the pending node's
+    #: region of it, so instead of an every-tick re-check the session
+    #: declares that region via :meth:`admission_dependencies` and is
+    #: re-examined only when a graph mutation notifies it.
     dynamic = True
 
     def __init__(
@@ -321,6 +330,24 @@ class DdagSession(PolicySession):
             )
         return PROCEED
 
+    def admission_dependencies(self):
+        """The L5 verdict for a pending node lock depends only on that
+        node's existence and in-edges in the present graph; everything else
+        the verdict reads (``locked_past``, ``held``, ``inserting``) is
+        session-local and changes only when this session executes — which
+        re-derives the cached classification anyway."""
+        step = self.queue[0] if self.queue else None
+        if step is None or not step.is_lock:
+            return ()
+        node = step.entity
+        if _is_edge_entity(node):
+            return ()  # implied lock; endpoints already held
+        if node in self.inserting:
+            return ()  # L2: insertable at any time
+        if not self.locked_past:
+            return ()  # L4: the first lock is unconditional
+        return (ddag_node_channel(node),)
+
     def executed(self) -> None:
         step = self.queue.pop(0)
         dag = self.context.dag
@@ -335,16 +362,20 @@ class DdagSession(PolicySession):
                 _, u, v = step.entity
                 dag.graph.add_edge(u, v)
                 assert dag.graph.is_acyclic(), "workload created a cycle"
+                self.context.notify_changed((ddag_node_channel(v),))
             else:
                 dag.graph.add_node(step.entity)
+                self.context.notify_changed((ddag_node_channel(step.entity),))
         elif step.op is Operation.DELETE:
             self._structural = True
             if _is_edge_entity(step.entity):
                 _, u, v = step.entity
                 dag.graph.remove_edge(u, v)
+                self.context.notify_changed((ddag_node_channel(v),))
             else:
                 dag.graph.remove_node(step.entity)
                 self.context.tombstones.add(step.entity)
+                self.context.notify_changed((ddag_node_channel(step.entity),))
 
     def on_commit(self) -> None:
         self.context.sessions.pop(self.name, None)

@@ -61,6 +61,10 @@ class Metrics:
     blocker_queries: int = 0
     #: Sessions re-examined because a lock release/commit/abort woke them.
     wakeups: int = 0
+    #: Sessions re-examined because a policy change notification hit one of
+    #: their declared invalidation channels (the policy-aware protocol that
+    #: lets dynamic sessions skip the every-tick re-check).
+    invalidations: int = 0
 
     @property
     def throughput(self) -> float:
@@ -109,6 +113,7 @@ class Metrics:
             "admission_checks": float(self.admission_checks),
             "blocker_queries": float(self.blocker_queries),
             "wakeups": float(self.wakeups),
+            "invalidations": float(self.invalidations),
             "classify_per_tick": (
                 self.classify_checks / self.ticks if self.ticks else 0.0
             ),

@@ -30,25 +30,51 @@ Two engines implement these semantics:
   a runnable session watching a lock is re-examined only when another
   session acquires that entity; the waits-for graph is maintained
   incrementally (edges added when a session blocks, dropped on
-  wake/abort/commit).  Sessions whose policy logic consults *shared*
-  mutable state (``PolicySession.dynamic``) are still re-examined every
-  tick — rule L5's "the present state of G" cannot be cached — so the
-  engine degrades gracefully to the naive behaviour exactly where the
-  paper's policies demand it.  Blocked-tick accounting for skipped sessions
-  is accrued lazily at the next re-examination, so both engines produce
+  wake/abort/commit).  Blocked-tick accounting for skipped sessions is
+  accrued lazily at the next re-examination, so both engines produce
   identical schedules *and* identical metric summaries for the same seed.
 
+Sessions whose policy logic consults *shared* mutable state
+(``PolicySession.dynamic`` or an overridden ``admission``) join the
+event-driven engine through the **policy-aware invalidation protocol**:
+such a session declares, via ``PolicySession.admission_dependencies()``,
+the invalidation channels whose change can flip its cached verdict (for
+DDAG rule L5, the pending node's existence/in-edges; for altruistic AL2,
+the wake state of the items it has locked or wants next).  Policy code
+reports mutations through ``PolicyContext.notify_changed``, and the
+scheduler — which subscribed each cached classification to its declared
+channels — routes the notification into the dirty set, re-examining
+exactly the sessions the change can affect.  A dynamic session that
+declares nothing (``admission_dependencies() is None``, the default) keeps
+the conservative behaviour: it is re-examined every tick, since e.g. an
+arbitrary custom ``admission`` consulting "the present state of G" cannot
+be cached blindly.
+
 Aborted transactions release their locks, their recorded events are erased
-(no recovery theory in the paper — an aborted attempt "never happened"),
-and the transaction restarts with an intent script recomputed by the
-workload's restart strategy (by default, the same intents).
+(no recovery theory in the paper — an aborted attempt "never happened"; a
+per-transaction event index makes the erasure O(own events) rather than a
+rebuild of the whole log), and the transaction restarts with an intent
+script recomputed by the workload's restart strategy (by default, the same
+intents).
 """
 
 from __future__ import annotations
 
 import random
+from collections import deque
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.operations import LockMode
 from ..core.schedules import Event, Schedule
@@ -122,6 +148,13 @@ class _Live:
     accrued_to: int = -1
     #: Last tick this session was classified.
     checked_at: int = -1
+    #: Classification must evaluate the policy admission() verdict (the
+    #: session is dynamic or overrides admission).
+    needs_admission: bool = False
+    #: The session declares invalidation channels (admission_dependencies
+    #: is not None): it joins the event-driven engine and is re-examined
+    #: on channel notifications instead of every tick.
+    tracks_deps: bool = False
 
 
 class Simulator:
@@ -186,27 +219,42 @@ class _Run:
         self.context = sim.policy.create_context(**sim.context_kwargs)
         self.metrics = Metrics()
         self.table = LockTable()
-        self.events: List[Event] = []
+        self.events: List[Optional[Event]] = []
+        #: Per-transaction index into ``events`` (positions of the txn's
+        #: recorded events), so an abort erases O(own events), not O(log).
+        self.events_by_txn: Dict[str, List[int]] = {}
         self.live: Dict[str, _Live] = {}
         self.committed: List[str] = []
         self.dropped: List[str] = []
-        self.pending: List[WorkloadItem] = sorted(
-            workload, key=lambda it: (it.start_tick, it.name)
+        #: Not-yet-admitted items, arrival order; a deque so large staggered
+        #: workloads admit in O(n) total instead of O(n²) list.pop(0).
+        self.pending: Deque[WorkloadItem] = deque(
+            sorted(workload, key=lambda it: (it.start_tick, it.name))
         )
         self._seq = 0
         # ---- event-engine state ----------------------------------------
         #: Sessions whose cached classification must be re-derived.
         self.dirty: Set[str] = set()
-        #: Live sessions with ``session.dynamic`` (re-examined every tick).
+        #: Live dynamic sessions declaring no invalidation dependencies
+        #: (re-examined every tick — the conservative fallback).
         self.dynamic: Set[str] = set()
         #: Non-dynamic sessions whose pending step is None (commit next tick).
         self.complete: Set[str] = set()
+        #: Dependency-declaring sessions due a phase-1 peek (fresh admission
+        #: or just executed: their replanning peek may commit or abort).
+        self.phase1: Set[str] = set()
         #: Names currently classified runnable.
         self.runnable: Set[str] = set()
         #: Incremental waits-for graph: blocked session -> blockers.
         self.waits_for: Dict[str, Set[str]] = {}
         #: Runnable sessions watching their pending lock's entity.
         self.watchers: Dict[Entity, Set[str]] = {}
+        #: Invalidation-channel subscriptions: channel -> subscribed names,
+        #: and the reverse index used to re-subscribe/unsubscribe.
+        self.channel_subs: Dict[Hashable, Set[str]] = {}
+        self.session_subs: Dict[str, Tuple[Hashable, ...]] = {}
+        if self.event_engine:
+            self.context.set_change_listener(self._policy_changed)
 
     # ------------------------------------------------------------------
     # Main loop (shared tick skeleton)
@@ -223,8 +271,10 @@ class _Run:
                     f"{sorted(self.live)} still active"
                 )
             if not self.live and self.pending:
-                # Idle until the next arrival.
-                m.ticks = max(m.ticks, self.pending[0].start_tick)
+                # Idle until the next arrival: jump to the tick *before* it
+                # so the increment below lands exactly on start_tick (the
+                # historical jump-to-start_tick admitted at start_tick + 1).
+                m.ticks = max(m.ticks, self.pending[0].start_tick - 1)
             m.ticks += 1
             m.active_integral += len(self.live)
             self.admit_arrivals()
@@ -239,7 +289,7 @@ class _Run:
     def admit_arrivals(self) -> None:
         m = self.metrics
         while self.pending and self.pending[0].start_tick <= m.ticks:
-            item = self.pending.pop(0)
+            item = self.pending.popleft()
             session = self.context.begin(item.name, item.intents)
             record = TxnRecord(item.name, start_tick=m.ticks)
             m.records[item.name] = record
@@ -249,22 +299,46 @@ class _Run:
 
     def _register(self, entry: _Live) -> None:
         name = entry.item.name
+        session = entry.session
         self.live[name] = entry
+        entry.needs_admission = (
+            session.dynamic
+            or type(session).admission is not PolicySession.admission
+        )
         if not self.event_engine:
             return
-        if self._is_dynamic(entry.session):
-            self.dynamic.add(name)
-        elif entry.session.peek() is None:
+        if entry.needs_admission:
+            if session.admission_dependencies() is None:
+                # Conservative fallback: the session cannot say what its
+                # verdict depends on, so it is re-examined every tick.
+                self.dynamic.add(name)
+            else:
+                # Policy-aware invalidation: classify now (dirty), let
+                # phase 1 run the first peek (it may commit or abort), and
+                # afterwards re-examine only on channel notifications.
+                entry.tracks_deps = True
+                self.phase1.add(name)
+                self.dirty.add(name)
+        elif session.peek() is None:
             self.complete.add(name)
         else:
             self.dirty.add(name)
 
+    def record_event(self, name: str, event: Event) -> None:
+        self.events_by_txn.setdefault(name, []).append(len(self.events))
+        self.events.append(event)
+
     def erase(self, name: str) -> None:
-        self.events[:] = [e for e in self.events if e.txn != name]
+        """Drop an aborted transaction's events in O(own events): tombstone
+        the indexed positions (``_assemble`` skips them) instead of
+        rebuilding the whole log."""
+        for i in self.events_by_txn.pop(name, ()):
+            self.events[i] = None
 
     def commit(self, entry: _Live) -> None:
         name = entry.item.name
         m = self.metrics
+        self.events_by_txn.pop(name, None)  # committed events are permanent
         entry.session.on_commit()
         entry.record.committed = True
         entry.record.end_tick = m.ticks
@@ -339,18 +413,25 @@ class _Run:
         elif step.is_unlock and mode is not None:
             woken = self.table.release(name, step.entity, mode)
             self._wake(woken)
-        self.events.append(Event(name, entry.step_count, step))
+        self.record_event(name, Event(name, entry.step_count, step))
         entry.step_count += 1
         entry.session.executed()
         m.events_executed += 1
         entry.record.steps_executed += 1
         if self.event_engine:
             self._clear_classification(entry)
-            if name not in self.dynamic:
-                if entry.session.peek() is None:
-                    self.complete.add(name)
-                else:
-                    self.dirty.add(name)
+            if name in self.dynamic:
+                pass  # re-examined every tick anyway
+            elif entry.tracks_deps:
+                # Defer the replanning peek to next tick's phase 1 (it may
+                # raise or drain to None — commit/abort are phase-1
+                # business, exactly when the naive engine sees them).
+                self.phase1.add(name)
+                self.dirty.add(name)
+            elif entry.session.peek() is None:
+                self.complete.add(name)
+            else:
+                self.dirty.add(name)
 
     # ------------------------------------------------------------------
     # Naive engine: the reference per-tick rescan
@@ -429,16 +510,40 @@ class _Run:
     # Event engine
     # ------------------------------------------------------------------
 
-    @staticmethod
-    def _is_dynamic(session: PolicySession) -> bool:
-        """A session is treated as dynamic if it says so — or if it
-        overrides :meth:`PolicySession.admission` at all, since a session
-        whose verdict is computed (rather than the constant PROCEED) cannot
-        be safely skipped between ticks whatever its flag claims."""
-        return (
-            session.dynamic
-            or type(session).admission is not PolicySession.admission
-        )
+    def _subscribe(self, name: str, channels: Iterable[Hashable]) -> None:
+        """Point the session's subscriptions at ``channels`` (re-read from
+        ``admission_dependencies`` at every classification, since the
+        relevant region moves with the pending step)."""
+        new = tuple(dict.fromkeys(channels))
+        old = self.session_subs.get(name, ())
+        if new == old:
+            return
+        for ch in old:
+            subs = self.channel_subs.get(ch)
+            if subs is not None:
+                subs.discard(name)
+                if not subs:
+                    del self.channel_subs[ch]
+        if new:
+            self.session_subs[name] = new
+            for ch in new:
+                self.channel_subs.setdefault(ch, set()).add(name)
+        else:
+            self.session_subs.pop(name, None)
+
+    def _policy_changed(self, channels: Tuple[Hashable, ...]) -> None:
+        """Context-emitted change notification: mark every subscriber of a
+        changed channel dirty, so phase 2 re-derives exactly the cached
+        verdicts this mutation can flip."""
+        m = self.metrics
+        for ch in channels:
+            subs = self.channel_subs.get(ch)
+            if not subs:
+                continue
+            for n in subs:
+                if n in self.live and n not in self.dirty:
+                    self.dirty.add(n)
+                    m.invalidations += 1
 
     def _wake(self, names) -> None:
         """A release returned these waiters in its wake-up set."""
@@ -476,6 +581,8 @@ class _Run:
         self.dirty.discard(name)
         self.dynamic.discard(name)
         self.complete.discard(name)
+        self.phase1.discard(name)
+        self._subscribe(name, ())
 
     def _classify(self, entry: _Live, aborts: List[Tuple[_Live, str]]) -> None:
         """Re-derive ``entry``'s scheduling state: one iteration of the
@@ -499,7 +606,10 @@ class _Run:
         m.classify_checks += 1
         step = entry.session.peek()
         assert step is not None
-        if name in self.dynamic:
+        if entry.tracks_deps:
+            deps = entry.session.admission_dependencies()
+            self._subscribe(name, deps if deps is not None else ())
+        if entry.needs_admission:
             m.admission_checks += 1
             verdict = entry.session.admission()
             if verdict.verdict is Admission.ABORT:
@@ -537,11 +647,17 @@ class _Run:
         m = self.metrics
         live = self.live
         # Phase 1: commits/phase-1 aborts.  Only sessions that can act here
-        # — dynamic ones (whose peek replans against present shared state
-        # and may raise or drain to None) and finished scripted ones — are
-        # visited, in admission order, matching the naive engine's
-        # insertion-order scan over all of live.
-        candidates = [n for n in self.complete | self.dynamic if n in live]
+        # — every-tick dynamic ones (whose peek replans against present
+        # shared state and may raise or drain to None), finished scripted
+        # ones, and dependency-declaring sessions due their replanning peek
+        # (fresh admission or just executed) — are visited, in admission
+        # order, matching the naive engine's insertion-order scan over all
+        # of live (for every other session the phase-1 peek is an
+        # observable no-op: its queue is non-empty and peek is idempotent).
+        candidates = [
+            n for n in self.complete | self.dynamic | self.phase1 if n in live
+        ]
+        self.phase1.clear()
         for name in sorted(candidates, key=lambda n: live[n].seq):
             entry = live.get(name)
             if entry is None:
@@ -577,13 +693,19 @@ class _Run:
             # Deadlock path (and safety net): re-validate every cached
             # classification, exactly as the naive engine implicitly does
             # each tick, so the waits-for graph is fully fresh before cycle
-            # detection and blocked-time accounting catches up.
+            # detection and blocked-time accounting catches up.  Under
+            # sound dependency declarations no re-validation can flip to
+            # ABORT (the flipping mutation would have notified a subscribed
+            # channel); handle it like the naive phase-2 pass regardless.
             stale_aborts: List[Tuple[_Live, str]] = []
             for name in sorted(live):
                 entry = live[name]
                 if entry.checked_at != m.ticks:
                     self._classify(entry, stale_aborts)
-            assert not stale_aborts, "non-dynamic sessions cannot abort in classify"
+            for entry, reason in stale_aborts:
+                self.abort(entry, reason)
+            if stale_aborts:
+                return
             if not self.runnable:
                 victim_name = _pick_deadlock_victim(self.waits_for, live)
                 if victim_name is None:
@@ -599,13 +721,16 @@ class _Run:
         self._execute_step(live[self.rng.choice(sorted(self.runnable))])
 
 
-def _assemble(events: Sequence[Event]) -> Schedule:
+def _assemble(events: Sequence[Optional[Event]]) -> Schedule:
     """Build a Schedule from raw events, reconstructing each transaction from
-    its own event subsequence (erased aborts leave per-transaction gaps in
-    the recorded indices, so events are re-indexed)."""
+    its own event subsequence (erased aborts tombstone their positions to
+    ``None`` and leave per-transaction gaps in the recorded indices, so
+    tombstones are skipped and events re-indexed)."""
     steps_by_txn: Dict[str, List[Step]] = {}
     reindexed: List[Event] = []
     for e in events:
+        if e is None:
+            continue  # erased by an abort
         seq = steps_by_txn.setdefault(e.txn, [])
         reindexed.append(Event(e.txn, len(seq), e.step))
         seq.append(e.step)
@@ -632,31 +757,37 @@ def _pick_deadlock_victim(
 
 
 def _find_cycle(graph: Dict[str, Set[str]]) -> Optional[List[str]]:
+    """Three-colour DFS with an explicit stack — wait chains can run
+    thousands of sessions deep (one blocked txn per entity of a long
+    sweep), well past Python's recursion limit."""
     color: Dict[str, int] = {}
     parent: Dict[str, Optional[str]] = {}
 
-    def dfs(node: str) -> Optional[List[str]]:
-        color[node] = 1
-        for nxt in sorted(graph.get(node, ())):
-            if color.get(nxt, 0) == 0:
-                parent[nxt] = node
-                found = dfs(nxt)
-                if found is not None:
-                    return found
-            elif color.get(nxt) == 1:
-                cycle = [node]
-                cur = node
-                while cur != nxt:
-                    cur = parent[cur]  # type: ignore[assignment]
-                    cycle.append(cur)
-                return cycle
-        color[node] = 2
-        return None
-
-    for node in sorted(graph):
-        if color.get(node, 0) == 0:
-            parent[node] = None
-            found = dfs(node)
-            if found is not None:
-                return found
+    for root in sorted(graph):
+        if color.get(root, 0) != 0:
+            continue
+        parent[root] = None
+        color[root] = 1
+        stack = [(root, iter(sorted(graph.get(root, ()))))]
+        while stack:
+            node, neighbours = stack[-1]
+            descended = False
+            for nxt in neighbours:
+                c = color.get(nxt, 0)
+                if c == 0:
+                    parent[nxt] = node
+                    color[nxt] = 1
+                    stack.append((nxt, iter(sorted(graph.get(nxt, ())))))
+                    descended = True
+                    break
+                if c == 1:
+                    cycle = [node]
+                    cur = node
+                    while cur != nxt:
+                        cur = parent[cur]  # type: ignore[assignment]
+                        cycle.append(cur)
+                    return cycle
+            if not descended:
+                color[node] = 2
+                stack.pop()
     return None

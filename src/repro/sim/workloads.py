@@ -31,6 +31,16 @@ from ..policies.ddag import Unlock
 from .scheduler import RestartStrategy, WorkloadItem
 
 
+def _staggered_start(index: int, arrival_rate: Optional[float]) -> int:
+    """Arrival tick of the ``index``-th transaction at ``arrival_rate``
+    transactions per tick (``None`` = everyone at tick 0)."""
+    if arrival_rate is None:
+        return 0
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    return int(index / arrival_rate)
+
+
 def dag_structural_state(dag: RootedDag) -> StructuralState:
     """The structural state induced by a database graph: every node and every
     edge entity exists."""
@@ -74,9 +84,16 @@ def traversal_workload(
     num_txns: int,
     walk_length: int = 4,
     seed: int = 0,
+    arrival_rate: Optional[float] = None,
 ) -> Tuple[List[WorkloadItem], StructuralState]:
     """DDAG traversal transactions: each walks a random L5-compatible region
-    of the graph and accesses every node it visits."""
+    of the graph and accesses every node it visits.
+
+    ``arrival_rate`` staggers arrivals at roughly that many transactions
+    per tick (``None`` keeps the historical everyone-at-tick-0 closed
+    system); staggering is what makes thousand-transaction traversal
+    stress runs meaningful — the open-system shape of the scale benchmarks.
+    """
     rng = random.Random(seed)
     items: List[WorkloadItem] = []
     nodes = sorted(dag.nodes(), key=repr)
@@ -89,6 +106,7 @@ def traversal_workload(
                 name=f"T{i + 1}",
                 intents=intents,
                 restart=ddag_restart_from_cone(walk),
+                start_tick=_staggered_start(i, arrival_rate),
             )
         )
     return items, dag_structural_state(dag)
@@ -100,10 +118,12 @@ def dynamic_traversal_workload(
     walk_length: int = 4,
     insert_prob: float = 0.5,
     seed: int = 0,
+    arrival_rate: Optional[float] = None,
 ) -> Tuple[List[WorkloadItem], StructuralState]:
     """Traversals that additionally insert fresh leaf nodes under the last
     visited node with probability ``insert_prob`` — the dynamic part of the
-    DDAG evaluation (structural churn while traversals run)."""
+    DDAG evaluation (structural churn while traversals run).  See
+    :func:`traversal_workload` for ``arrival_rate``."""
     rng = random.Random(seed)
     items: List[WorkloadItem] = []
     nodes = sorted(dag.nodes(), key=repr)
@@ -120,6 +140,7 @@ def dynamic_traversal_workload(
                 name=f"T{i + 1}",
                 intents=intents,
                 restart=ddag_restart_from_cone(walk),
+                start_tick=_staggered_start(i, arrival_rate),
             )
         )
     return items, dag_structural_state(dag)
@@ -239,7 +260,7 @@ def stress_workload(
             WorkloadItem(
                 name=f"T{i + 1:05d}",
                 intents=[Access(e) for e in picks],
-                start_tick=int(i / arrival_rate),
+                start_tick=_staggered_start(i, arrival_rate),
             )
         )
     return items, StructuralState(frozenset(entities))

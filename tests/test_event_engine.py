@@ -157,6 +157,32 @@ class TestEquivalence:
             lambda s: {"dag": random_rooted_dag(8, 0.3, seed=s).snapshot()},
         )
 
+    def test_ddag_staggered_dynamic_traversals(self):
+        # Open-system arrivals over a contended graph: blocked traversals
+        # pile up with cached (dependency-declared) classifications while
+        # concurrent inserts mutate the graph under them.
+        assert_equivalent(
+            DdagPolicy,
+            lambda s: dynamic_traversal_workload(
+                random_rooted_dag(15, 0.15, seed=s), 40, 3,
+                insert_prob=0.4, seed=s, arrival_rate=0.4,
+            ),
+            lambda s: {"dag": random_rooted_dag(15, 0.15, seed=s).snapshot()},
+            seeds=range(3),
+        )
+
+    def test_altruistic_contended_stress(self):
+        # Overloaded arrivals on a small entity space: wake constraints,
+        # policy-wait/lock-wait flips, deadlock victims, restarts — the
+        # invalidation protocol's gnarliest paths.
+        assert_equivalent(
+            AltruisticPolicy,
+            lambda s: stress_workload(
+                25, 50, arrival_rate=0.3, hot_fraction=0.1, seed=s
+            ),
+            seeds=range(3),
+        )
+
     def test_ddag_fig3(self):
         assert_equivalent(
             DdagPolicy,
@@ -190,6 +216,29 @@ class TestEventEngineWins:
         )
         assert event_m.blocker_queries < naive_m.blocker_queries
         assert event_m.wakeups > 0
+
+    def test_dynamic_policy_fewer_checks_via_invalidation(self):
+        """Dynamic (dependency-declaring) sessions must no longer force the
+        per-tick rescan: on a blocking-heavy altruistic workload the event
+        engine performs a fraction of the naive engine's classification and
+        admission work while reproducing it exactly."""
+        items, initial = stress_workload(
+            300, 120, arrival_rate=0.085, hot_fraction=0.0, seed=2
+        )
+        results = {}
+        for engine in ("naive", "event"):
+            results[engine] = Simulator(
+                AltruisticPolicy(), seed=2, engine=engine
+            ).run(items, initial, validate=False)
+        naive_m = results["naive"].metrics
+        event_m = results["event"].metrics
+        assert results["naive"].schedule.events == results["event"].schedule.events
+        naive_work = naive_m.classify_checks + naive_m.admission_checks
+        event_work = event_m.classify_checks + event_m.admission_checks
+        assert event_work * 3 < naive_work, (
+            f"expected a big dynamic-policy saving, got "
+            f"{event_work} vs {naive_work}"
+        )
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):

@@ -5,6 +5,12 @@
 2. restart accounting counts only actual restarts, not drops;
 3. lock upgrades (SHARED then EXCLUSIVE) keep coherent release semantics;
 4. ``run_cell`` cannot report an all-failed cell as serializable;
+5. an arrival behind an idle gap admits at its requested ``start_tick``
+   (the clock used to jump to the start tick and *then* increment);
+6. ``_find_cycle`` survives wait chains deeper than Python's recursion
+   limit (it used to be a recursive DFS);
+7. aborts erase a transaction's events through the per-transaction index
+   (tombstones) rather than rebuilding the whole log;
 
 plus direct unit coverage of the deadlock machinery
 (``_pick_deadlock_victim`` / ``_find_cycle``) and the livelock error path.
@@ -13,6 +19,7 @@ plus direct unit coverage of the deadlock machinery
 import pytest
 
 from repro.core import LockMode, Operation, Step, StructuralState
+from repro.core.schedules import Event
 from repro.exceptions import PolicyViolation, SimulationError
 from repro.policies import Access, TwoPhasePolicy
 from repro.policies.base import (
@@ -26,7 +33,13 @@ from repro.policies.base import (
 )
 from repro.sim import LockTable, Simulator, WorkloadItem, run_cell
 from repro.sim.metrics import TxnRecord
-from repro.sim.scheduler import _Live, _find_cycle, _pick_deadlock_victim
+from repro.sim.scheduler import (
+    _Live,
+    _Run,
+    _assemble,
+    _find_cycle,
+    _pick_deadlock_victim,
+)
 
 
 ENGINES = ("event", "naive")
@@ -310,6 +323,107 @@ def _live_entry(name, steps_executed=0, structural=False):
     return entry
 
 
+class TestIdleGapArrival:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_arrival_behind_idle_gap_admits_at_start_tick(self, engine):
+        # T1 finishes long before T2 arrives; the clock idles, jumps, and
+        # used to admit T2 at start_tick + 1.
+        items = [
+            WorkloadItem("T1", [Access("a")]),
+            WorkloadItem("T2", [Access("a")], start_tick=50),
+        ]
+        result = Simulator(TwoPhasePolicy(), seed=0, engine=engine).run(
+            items, StructuralState.of("a"), validate=False
+        )
+        assert result.committed == ("T1", "T2")
+        assert result.metrics.records["T2"].start_tick == 50
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_idle_from_tick_zero(self, engine):
+        items = [WorkloadItem("T1", [Access("a")], start_tick=10)]
+        result = Simulator(TwoPhasePolicy(), seed=0, engine=engine).run(
+            items, StructuralState.of("a"), validate=False
+        )
+        assert result.metrics.records["T1"].start_tick == 10
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_staggered_chain_of_idle_gaps(self, engine):
+        starts = [0, 20, 45, 90]
+        items = [
+            WorkloadItem(f"T{i}", [Access("a")], start_tick=s)
+            for i, s in enumerate(starts)
+        ]
+        result = Simulator(TwoPhasePolicy(), seed=1, engine=engine).run(
+            items, StructuralState.of("a"), validate=False
+        )
+        for i, s in enumerate(starts):
+            assert result.metrics.records[f"T{i}"].start_tick == s
+
+
+class TestEraseIndex:
+    def _run(self):
+        return _Run(Simulator(TwoPhasePolicy(), seed=0), [])
+
+    def test_erase_tombstones_only_own_events(self):
+        run = self._run()
+        e = [
+            Event("T1", 0, Step(Operation.READ, "a")),
+            Event("T2", 0, Step(Operation.READ, "b")),
+            Event("T1", 1, Step(Operation.WRITE, "a")),
+            Event("T2", 1, Step(Operation.WRITE, "b")),
+        ]
+        for ev in e:
+            run.record_event(ev.txn, ev)
+        run.erase("T1")
+        assert run.events == [None, e[1], None, e[3]]
+        assert "T1" not in run.events_by_txn
+        assert run.events_by_txn["T2"] == [1, 3]
+
+    def test_erase_unknown_and_repeat_are_noops(self):
+        run = self._run()
+        ev = Event("T1", 0, Step(Operation.READ, "a"))
+        run.record_event("T1", ev)
+        run.erase("GHOST")
+        run.erase("T1")
+        run.erase("T1")
+        assert run.events == [None]
+
+    def test_assemble_skips_tombstones_and_reindexes(self):
+        run = self._run()
+        for ev in (
+            Event("T1", 0, Step(Operation.READ, "a")),
+            Event("T2", 0, Step(Operation.READ, "b")),
+            Event("T1", 1, Step(Operation.WRITE, "a")),
+        ):
+            run.record_event(ev.txn, ev)
+        run.erase("T1")
+        # A restarted T1 records fresh events after the erasure.
+        run.record_event("T1", Event("T1", 0, Step(Operation.READ, "c")))
+        schedule = _assemble(run.events)
+        assert [(ev.txn, ev.index, ev.step) for ev in schedule.events] == [
+            ("T2", 0, Step(Operation.READ, "b")),
+            ("T1", 0, Step(Operation.READ, "c")),
+        ]
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_aborted_attempts_leave_no_events(self, engine):
+        # Deadlock-prone pair: whoever aborts must leave only its final
+        # (restarted) attempt in the schedule.
+        items = [
+            WorkloadItem("T1", [Access("a"), Access("b")]),
+            WorkloadItem("T2", [Access("b"), Access("a")]),
+        ]
+        for seed in range(8):
+            result = Simulator(TwoPhasePolicy(), seed=seed, engine=engine).run(
+                items, StructuralState.of("a", "b")
+            )
+            assert result.metrics.committed == 2
+            for txn in ("T1", "T2"):
+                steps = result.schedule.transactions[txn].steps
+                # One full clean pass: 2 locks + 2 reads + 2 writes + 2 unlocks.
+                assert len(steps) == 8
+
+
 class TestFindCycle:
     def test_no_cycle_returns_none(self):
         assert _find_cycle({"A": {"B"}, "B": {"C"}, "C": set()}) is None
@@ -326,6 +440,36 @@ class TestFindCycle:
     def test_finds_cycle_beyond_first_component(self):
         graph = {"A": set(), "B": {"C"}, "C": {"B"}}
         assert set(_find_cycle(graph)) == {"B", "C"}
+
+    def test_deep_chain_without_cycle(self):
+        # Far past the default recursion limit: the old recursive DFS blew
+        # RecursionError on wait chains ≳1,000 deep.
+        n = 5000
+        graph = {f"T{i:05d}": {f"T{i + 1:05d}"} for i in range(n)}
+        graph[f"T{n:05d}"] = set()
+        assert _find_cycle(graph) is None
+
+    def test_deep_chain_ending_in_cycle(self):
+        n = 5000
+        graph = {f"T{i:05d}": {f"T{i + 1:05d}"} for i in range(n)}
+        graph[f"T{n:05d}"] = {f"T{n - 1:05d}"}
+        cycle = _find_cycle(graph)
+        assert cycle is not None
+        assert set(cycle) == {f"T{n - 1:05d}", f"T{n:05d}"}
+
+    def test_deep_chain_deadlock_victim_comes_from_cycle(self):
+        # The full deadlock path over a deep chain: detector plus victim
+        # selection must work at depths the recursive DFS could not reach.
+        n = 3000
+        graph = {f"T{i:05d}": {f"T{i + 1:05d}"} for i in range(n)}
+        graph[f"T{n:05d}"] = {f"T{n - 1:05d}"}
+        live = {
+            name: _live_entry(name, steps_executed=i)
+            for i, name in enumerate(graph)
+        }
+        live[f"T{n:05d}"] = _live_entry(f"T{n:05d}", steps_executed=0)
+        victim = _pick_deadlock_victim(graph, live)
+        assert victim == f"T{n:05d}"
 
 
 class TestPickDeadlockVictim:
