@@ -9,6 +9,7 @@ from .workloads import (
     dag_structural_state,
     ddag_cone_intents,
     ddag_restart_from_cone,
+    deadlock_storm_workload,
     dynamic_traversal_workload,
     fig3_dag,
     fig3_workload,
@@ -30,6 +31,7 @@ __all__ = [
     "dag_structural_state",
     "ddag_cone_intents",
     "ddag_restart_from_cone",
+    "deadlock_storm_workload",
     "dynamic_traversal_workload",
     "fig3_dag",
     "fig3_workload",

@@ -13,10 +13,16 @@ Two facilities support the event-driven scheduler:
   behaviour of overwriting the mode made that release a silent no-op and
   leaked the exclusive lock until abort.
 * **Per-entity wait queues.** Blocked transactions register as waiters via
-  :meth:`add_waiter`; :meth:`release` and :meth:`release_all` return the
-  *wake-up set* — the waiters on every entity whose holder set changed — so
-  the scheduler can re-examine exactly the sessions a release might have
-  unblocked instead of rescanning every live session each tick.
+  :meth:`add_waiter`; :meth:`release` and :meth:`release_all_wake` return
+  the *wake-up set* — the waiters whose requested mode became grantable on
+  an entity whose holder set weakened — so the scheduler re-examines
+  exactly the sessions a release might have unblocked instead of
+  rescanning every live session each tick.  Waiters that still conflict
+  with the remaining holders (an EXCLUSIVE waiter across another holder's
+  EXCLUSIVE→SHARED downgrade, say) are not in the set: waking them was a
+  pure wasted re-classification.  :meth:`waiter_modes` exposes the queued
+  requests so the scheduler can maintain those waiters' waits-for edges
+  without re-classifying them.
 """
 
 from __future__ import annotations
@@ -93,14 +99,13 @@ class LockTable:
         """Remove one mode grant; True only if ``txn``'s *effective* hold on
         ``entity`` weakened (holder gone, or EXCLUSIVE downgraded to
         SHARED) — releasing the SHARED half of an upgrade changes nothing a
-        waiter could be granted on, so it must not produce wake-ups."""
+        waiter could be granted on, so it must not produce wake-ups.  The
+        weaken rule itself lives in :meth:`would_weaken`."""
+        weakened = self.would_weaken(txn, entity, mode)
         current = self._holders.get(entity)
-        if current is None:
-            return False
-        modes = current.get(txn)
+        modes = current.get(txn) if current is not None else None
         if modes is None or mode not in modes:
             return False
-        before = self._effective(modes)
         modes.discard(mode)
         if not modes:
             del current[txn]
@@ -111,14 +116,32 @@ class LockTable:
                     del self._held[txn]
             if not current:
                 del self._holders[entity]
+        return weakened
+
+    def would_weaken(self, txn: str, entity: Entity, mode: LockMode) -> bool:
+        """Whether releasing ``mode`` would weaken ``txn``'s effective hold
+        on ``entity``.  The single home of the weaken rule: :meth:`_drop`
+        returns this predicate after mutating, and the scheduler queries it
+        up front to skip waits-for edge maintenance for releases that
+        change nothing a waiter could be granted on."""
+        modes = self._holders.get(entity, {}).get(txn)
+        if not modes or mode not in modes:
+            return False
+        if len(modes) == 1:
             return True
-        return self._effective(modes) is not before
+        return self._effective(modes) is not self._effective(modes - {mode})
 
     def release(self, txn: str, entity: Entity, mode: LockMode) -> List[str]:
         """Release one mode grant; returns the wake-up set — the waiters on
-        ``entity`` (in arrival order) if its holder set changed."""
+        ``entity`` (in arrival order) whose requested mode is grantable now
+        that the holder set weakened.  Waiters that still conflict with the
+        remaining holders are left queued and unwoken."""
         if self._drop(txn, entity, mode):
-            return [w for w in self._waiters.get(entity, {}) if w != txn]
+            return [
+                w
+                for w, wanted in self._waiters.get(entity, {}).items()
+                if w != txn and self.grantable(w, entity, wanted)
+            ]
         return []
 
     def release_all(self, txn: str) -> List[Tuple[Entity, LockMode]]:
@@ -138,13 +161,13 @@ class LockTable:
 
     def release_all_wake(self, txn: str) -> Tuple[List[Tuple[Entity, LockMode]], List[str]]:
         """:meth:`release_all` plus the combined wake-up set of every
-        released entity's waiters."""
+        released entity's now-grantable waiters."""
         released = self.release_all(txn)
         woken: List[str] = []
         seen: Set[str] = set()
         for entity, _ in released:
-            for w in self._waiters.get(entity, {}):
-                if w != txn and w not in seen:
+            for w, wanted in self._waiters.get(entity, {}).items():
+                if w != txn and w not in seen and self.grantable(w, entity, wanted):
                     seen.add(w)
                     woken.append(w)
         return released, woken
@@ -176,6 +199,14 @@ class LockTable:
     def waiters_of(self, entity: Entity) -> List[str]:
         """Waiters queued on ``entity``, in arrival order."""
         return list(self._waiters.get(entity, {}))
+
+    def waiter_modes(self, entity: Entity) -> List[Tuple[str, LockMode]]:
+        """Waiters queued on ``entity`` with their requested modes, in
+        arrival order — the scheduler's edge-maintenance query: after a
+        release whose wake-up set was grantability-filtered, the still
+        blocked waiters' waits-for edges are re-derived from these requests
+        instead of re-classifying the sessions."""
+        return list(self._waiters.get(entity, {}).items())
 
     def waiting_entity(self, txn: str) -> Optional[Entity]:
         return self._waiting_on.get(txn)

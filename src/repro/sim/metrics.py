@@ -42,6 +42,10 @@ class Metrics:
     aborted: int = 0
     restarts: int = 0
     deadlocks: int = 0
+    #: Victim of each waits-for cycle resolution, in detection order; the
+    #: engines must agree on this sequence exactly (the equivalence tests
+    #: compare it), not just on the ``deadlocks`` count.
+    deadlock_victims: List[str] = field(default_factory=list)
     lock_wait_observations: int = 0
     policy_wait_observations: int = 0
     active_integral: int = 0
@@ -65,6 +69,21 @@ class Metrics:
     #: their declared invalidation channels (the policy-aware protocol that
     #: lets dynamic sessions skip the every-tick re-check).
     invalidations: int = 0
+
+    def accrue_blocked(self, record: TxnRecord, lock_wait: bool, ticks: int) -> None:
+        """Credit ``ticks`` blocked-tick observations to ``record`` in one
+        step — the event engine's accrue-on-demand accounting.  The naive
+        engine adds +1 per blocked session per tick; the event engine skips
+        untouched sessions and catches their accounting up lazily (at
+        re-classification, when a blocker departs, and for cycle members at
+        victim-pick time), so the totals of both engines match exactly."""
+        if ticks <= 0:
+            return
+        record.blocked_ticks += ticks
+        if lock_wait:
+            self.lock_wait_observations += ticks
+        else:
+            self.policy_wait_observations += ticks
 
     @property
     def throughput(self) -> float:

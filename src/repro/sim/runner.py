@@ -46,6 +46,9 @@ class CellResult:
             "serializable": self.all_serializable,
         }
         out.update({k: round(v, 4) for k, v in self.means.items()})
+        # The per-seed spread was computed but silently dropped; surface it
+        # so BENCH_* artifacts record variance alongside the means.
+        out.update({f"{k}_sd": round(v, 4) for k, v in self.stdevs.items()})
         return out
 
 

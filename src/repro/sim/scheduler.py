@@ -26,13 +26,21 @@ Two engines implement these semantics:
 * ``engine="event"`` (default) — the event-driven engine: classifications
   are cached and invalidated only by the events that can change them.  A
   blocked session registers in the lock table's per-entity wait queue and is
-  re-examined only when a release/commit/abort returns it in a wake-up set;
-  a runnable session watching a lock is re-examined only when another
-  session acquires that entity; the waits-for graph is maintained
-  incrementally (edges added when a session blocks, dropped on
-  wake/abort/commit).  Blocked-tick accounting for skipped sessions is
-  accrued lazily at the next re-examination, so both engines produce
-  identical schedules *and* identical metric summaries for the same seed.
+  re-examined only when a release/commit/abort returns it in a wake-up set
+  (grantability-filtered: a waiter that still conflicts with the remaining
+  holders stays asleep); a runnable session watching a lock is re-examined
+  only when another session acquires that entity.
+
+  The waits-for graph is **always fresh**: edges are added when a session
+  blocks, re-derived when a release leaves a waiter blocked but changes its
+  blocker set, and a reverse index (blocker → waiters) prunes a departing
+  blocker's inbound edges eagerly at commit/abort time.  A no-runnable tick
+  therefore runs cycle detection directly on the maintained graph — no
+  re-validation of cached classifications, which used to make every
+  deadlock-path tick O(live).  Blocked-tick accounting accrues on demand —
+  at re-classification, when a blocker departs, and for cycle members at
+  victim-pick time — so both engines produce identical schedules *and*
+  identical metric summaries for the same seed.
 
 Sessions whose policy logic consults *shared* mutable state
 (``PolicySession.dynamic`` or an overridden ``admission``) join the
@@ -146,8 +154,6 @@ class _Live:
     watch_entity: Optional[Entity] = None
     #: Last tick for which blocked-time accounting has been recorded.
     accrued_to: int = -1
-    #: Last tick this session was classified.
-    checked_at: int = -1
     #: Classification must evaluate the policy admission() verdict (the
     #: session is dynamic or overrides admission).
     needs_admission: bool = False
@@ -247,6 +253,12 @@ class _Run:
         self.runnable: Set[str] = set()
         #: Incremental waits-for graph: blocked session -> blockers.
         self.waits_for: Dict[str, Set[str]] = {}
+        #: Reverse index of ``waits_for``: blocker -> waiters with an edge
+        #: to it, kept exactly in sync so a departing blocker's inbound
+        #: edges are pruned eagerly instead of lingering until the waiters'
+        #: next re-classification.  This is what keeps the graph fresh
+        #: enough for cycle detection to run on it directly.
+        self.blocked_by: Dict[str, Set[str]] = {}
         #: Runnable sessions watching their pending lock's entity.
         self.watchers: Dict[Entity, Set[str]] = {}
         #: Invalidation-channel subscriptions: channel -> subscribed names,
@@ -265,19 +277,29 @@ class _Run:
         self.admit_arrivals()
         tick = self._event_tick if self.event_engine else self._naive_tick
         while self.live or self.pending:
-            if m.ticks >= self.max_ticks:
-                raise SimulationError(
-                    f"exceeded {self.max_ticks} ticks with "
-                    f"{sorted(self.live)} still active"
-                )
             if not self.live and self.pending:
                 # Idle until the next arrival: jump to the tick *before* it
                 # so the increment below lands exactly on start_tick (the
                 # historical jump-to-start_tick admitted at start_tick + 1).
-                m.ticks = max(m.ticks, self.pending[0].start_tick - 1)
+                # Clamped to the cap — a far-future arrival used to jump
+                # the clock straight past the max_ticks guard below.
+                m.ticks = min(
+                    max(m.ticks, self.pending[0].start_tick - 1),
+                    self.max_ticks,
+                )
+            if m.ticks >= self.max_ticks:
+                raise SimulationError(
+                    f"exceeded {self.max_ticks} ticks with "
+                    f"{_truncated(sorted(self.live))} still active and "
+                    f"{len(self.pending)} pending"
+                )
             m.ticks += 1
-            m.active_integral += len(self.live)
             self.admit_arrivals()
+            # Accrued *after* admissions: a transaction admitted at tick t
+            # can execute at tick t, so it belongs in tick t's concurrency
+            # integral (it used to be invisible until t + 1, undercounting
+            # mean_active on staggered arrivals).
+            m.active_integral += len(self.live)
             if not self.live:
                 continue
             tick()
@@ -406,13 +428,19 @@ class _Run:
             self.table.acquire(name, step.entity, mode)
             if self.event_engine:
                 # Sessions whose cached classification assumed this entity
-                # was free (watchers) or whose waits-for edges predate this
-                # holder (queued waiters) must be re-derived.
+                # was free (watchers) must be re-derived; queued waiters
+                # stay blocked — a grant can only extend their blocker
+                # sets, so their edges are updated in place instead.
                 self._mark_dirty(self.watchers.get(step.entity, ()), exclude=name)
-                self._mark_dirty(self.table.waiters_of(step.entity), exclude=name)
+                self._extend_lock_edges(name, step.entity)
         elif step.is_unlock and mode is not None:
+            weakened = self.event_engine and self.table.would_weaken(
+                name, step.entity, mode
+            )
             woken = self.table.release(name, step.entity, mode)
             self._wake(woken)
+            if weakened:
+                self._refresh_lock_edges(name, step.entity)
         self.record_event(name, Event(name, entry.step_count, step))
         entry.step_count += 1
         entry.session.executed()
@@ -497,9 +525,10 @@ class _Run:
             if victim_name is None:
                 raise SimulationError(
                     f"livelock: no runnable session and no waits-for cycle "
-                    f"among {sorted(live)}"
+                    f"among {_truncated(sorted(live))}"
                 )
             m.deadlocks += 1
+            m.deadlock_victims.append(victim_name)
             self.abort(live[victim_name], "deadlock victim")
             return
 
@@ -559,10 +588,103 @@ class _Run:
             if n != exclude and n in self.live:
                 self.dirty.add(n)
 
+    # ---- waits-for edge maintenance ----------------------------------
+
+    def _set_edges(self, name: str, blockers: Set[str]) -> None:
+        """Point ``name``'s outgoing waits-for edges at ``blockers``,
+        keeping the reverse index in sync."""
+        old = self.waits_for.get(name)
+        self.waits_for[name] = blockers
+        if old:
+            for b in old - blockers:
+                self._drop_reverse(b, name)
+            added = blockers - old
+        else:
+            added = blockers
+        for b in added:
+            self.blocked_by.setdefault(b, set()).add(name)
+
+    def _drop_edges(self, name: str) -> None:
+        """Remove ``name``'s outgoing waits-for edges (and their reverse
+        entries)."""
+        old = self.waits_for.pop(name, None)
+        if old:
+            for b in old:
+                self._drop_reverse(b, name)
+
+    def _drop_reverse(self, blocker: str, waiter: str) -> None:
+        waiters = self.blocked_by.get(blocker)
+        if waiters is not None:
+            waiters.discard(waiter)
+            if not waiters:
+                del self.blocked_by[blocker]
+
+    def _refresh_lock_edges(self, releaser: str, entity: Entity) -> None:
+        """A release by ``releaser`` may have dropped it from ``entity``'s
+        conflicting holders without unblocking the remaining waiters (the
+        wake-up set is grantability-filtered).  Their cached waits-for
+        edges must not keep pointing at the releaser — the maintained
+        graph would diverge from the naive engine's fresh rebuild at the
+        next cycle search — so re-derive each still-blocked waiter's edge
+        set from the table, without re-classifying the session."""
+        m = self.metrics
+        for waiter, wanted in self.table.waiter_modes(entity):
+            if waiter == releaser or waiter in self.dirty:
+                continue  # dirty waiters are fully re-classified anyway
+            entry = self.live.get(waiter)
+            if entry is None or entry.state != _LOCK_WAIT:
+                continue
+            m.blocker_queries += 1
+            self._set_edges(
+                waiter,
+                {
+                    b
+                    for b in self.table.blockers(waiter, entity, wanted)
+                    if b in self.live
+                },
+            )
+
+    def _extend_lock_edges(self, holder: str, entity: Entity) -> None:
+        """``holder`` just acquired a grant on ``entity``: a fresh grant
+        cannot unblock a queued waiter, only extend its blocker set, so the
+        new edge is added in place — the acquire-side twin of
+        :meth:`_refresh_lock_edges` (re-classifying every waiter here was
+        O(waiters) full classifications per acquire on a hot entity)."""
+        effective = self.table.mode_held(holder, entity)
+        assert effective is not None
+        for waiter, wanted in self.table.waiter_modes(entity):
+            if waiter == holder or waiter in self.dirty:
+                continue  # dirty waiters are fully re-classified anyway
+            entry = self.live.get(waiter)
+            if entry is None or entry.state != _LOCK_WAIT:
+                continue
+            if not wanted.conflicts_with(effective):
+                continue
+            edges = self.waits_for.get(waiter)
+            if edges is not None and holder not in edges:
+                edges.add(holder)
+                self.blocked_by.setdefault(holder, set()).add(waiter)
+
+    def _accrue(self, entry: _Live, through: int) -> None:
+        """Catch a blocked session's lazy blocked-tick accounting up
+        through tick ``through`` (it sat in the same blocked state the
+        whole time — anything that could have changed it would have
+        re-examined it sooner)."""
+        if entry.state == _LOCK_WAIT:
+            lock_wait = True
+        elif entry.state == _POLICY_WAIT:
+            lock_wait = False
+        else:
+            return
+        skipped = through - entry.accrued_to
+        if skipped > 0:
+            self.metrics.accrue_blocked(entry.record, lock_wait, skipped)
+            entry.accrued_to = through
+
     def _clear_classification(self, entry: _Live) -> None:
         name = entry.item.name
         self.runnable.discard(name)
-        self.waits_for.pop(name, None)
+        self._drop_edges(name)
         if entry.state == _LOCK_WAIT:
             self.table.remove_waiter(name)
         if entry.watch_entity is not None:
@@ -578,6 +700,22 @@ class _Run:
         """Drop every piece of engine bookkeeping for this incarnation."""
         name = entry.item.name
         self._clear_classification(entry)
+        # Eagerly prune inbound waits-for edges: a departed session blocks
+        # nobody, and a restarted incarnation under the same name must not
+        # inherit edges aimed at its predecessor.  The waiters' lazy
+        # accounting is caught up through the previous tick first (if this
+        # departure is their wake-up, re-classification will cover the
+        # current tick; if it is not, a later accrual point will).
+        waiters = self.blocked_by.pop(name, None)
+        if waiters:
+            through = self.metrics.ticks - 1
+            for w in waiters:
+                w_entry = self.live.get(w)
+                if w_entry is not None:
+                    self._accrue(w_entry, through)
+                edges = self.waits_for.get(w)
+                if edges is not None:
+                    edges.discard(name)
         self.dirty.discard(name)
         self.dynamic.discard(name)
         self.complete.discard(name)
@@ -593,16 +731,8 @@ class _Run:
         m = self.metrics
         name = entry.item.name
         now = m.ticks
-        if entry.state in (_LOCK_WAIT, _POLICY_WAIT):
-            skipped = (now - 1) - entry.accrued_to
-            if skipped > 0:
-                entry.record.blocked_ticks += skipped
-                if entry.state == _LOCK_WAIT:
-                    m.lock_wait_observations += skipped
-                else:
-                    m.policy_wait_observations += skipped
+        self._accrue(entry, now - 1)
         self._clear_classification(entry)
-        entry.checked_at = now
         m.classify_checks += 1
         step = entry.session.peek()
         assert step is not None
@@ -616,25 +746,23 @@ class _Run:
                 aborts.append((entry, verdict.reason or "policy violation"))
                 return
             if verdict.verdict is Admission.WAIT:
-                m.policy_wait_observations += 1
-                entry.record.blocked_ticks += 1
+                m.accrue_blocked(entry.record, False, 1)
                 entry.state = _POLICY_WAIT
                 entry.accrued_to = now
-                self.waits_for[name] = {
-                    w for w in verdict.waiting_on if w in self.live
-                }
+                self._set_edges(
+                    name, {w for w in verdict.waiting_on if w in self.live}
+                )
                 return
         mode = step.lock_mode
         if step.is_lock and mode is not None:
             m.blocker_queries += 1
             blockers = self.table.blockers(name, step.entity, mode)
             if blockers:
-                m.lock_wait_observations += 1
-                entry.record.blocked_ticks += 1
+                m.accrue_blocked(entry.record, True, 1)
                 entry.state = _LOCK_WAIT
                 entry.accrued_to = now
                 self.table.add_waiter(name, step.entity, mode)
-                self.waits_for[name] = {b for b in blockers if b in self.live}
+                self._set_edges(name, {b for b in blockers if b in self.live})
                 return
             # Runnable with a pending lock: watch the entity so a concurrent
             # acquire invalidates this classification.
@@ -690,32 +818,30 @@ class _Run:
             return
 
         if not self.runnable:
-            # Deadlock path (and safety net): re-validate every cached
-            # classification, exactly as the naive engine implicitly does
-            # each tick, so the waits-for graph is fully fresh before cycle
-            # detection and blocked-time accounting catches up.  Under
-            # sound dependency declarations no re-validation can flip to
-            # ABORT (the flipping mutation would have notified a subscribed
-            # channel); handle it like the naive phase-2 pass regardless.
-            stale_aborts: List[Tuple[_Live, str]] = []
-            for name in sorted(live):
-                entry = live[name]
-                if entry.checked_at != m.ticks:
-                    self._classify(entry, stale_aborts)
-            for entry, reason in stale_aborts:
-                self.abort(entry, reason)
-            if stale_aborts:
-                return
-            if not self.runnable:
-                victim_name = _pick_deadlock_victim(self.waits_for, live)
-                if victim_name is None:
-                    raise SimulationError(
-                        f"livelock: no runnable session and no waits-for cycle "
-                        f"among {sorted(live)}"
-                    )
-                m.deadlocks += 1
-                self.abort(live[victim_name], "deadlock victim")
-                return
+            # Deadlock path: the waits-for graph is maintained always-fresh
+            # (edges re-derived on block/release, inbound edges pruned at
+            # departure), so cycle detection runs directly on it — no
+            # re-validation of cached classifications, which used to make
+            # every no-runnable tick O(live).
+            deadlock = _find_deadlock(self.waits_for, live)
+            if deadlock is None:
+                raise SimulationError(
+                    f"livelock: no runnable session and no waits-for cycle "
+                    f"among {_truncated(sorted(live))}"
+                )
+            victim_name, cycle = deadlock
+            m.deadlocks += 1
+            m.deadlock_victims.append(victim_name)
+            # The naive engine classifies every blocked session at the
+            # deadlock tick; the cycle members' lazy accounting must be
+            # equally fresh here (the victim's record is final after the
+            # abort), the rest catch up at their next accrual point.
+            for member in cycle:
+                entry = live.get(member)
+                if entry is not None:
+                    self._accrue(entry, m.ticks)
+            self.abort(live[victim_name], "deadlock victim")
+            return
 
         # Phase 3: execute one step.
         self._execute_step(live[self.rng.choice(sorted(self.runnable))])
@@ -738,11 +864,23 @@ def _assemble(events: Sequence[Optional[Event]]) -> Schedule:
     return Schedule(txns, reindexed)
 
 
-def _pick_deadlock_victim(
+def _truncated(names: Sequence[str], limit: int = 12) -> str:
+    """Render a session-name list for an error message, truncating huge
+    populations (a stalled 10,000-transaction run used to dump every
+    name into the SimulationError text)."""
+    names = list(names)
+    if len(names) <= limit:
+        return repr(names)
+    shown = ", ".join(repr(n) for n in names[:limit])
+    return f"[{shown}, ... +{len(names) - limit} more]"
+
+
+def _find_deadlock(
     waits_for: Dict[str, Set[str]], live: Dict[str, _Live]
-) -> Optional[str]:
-    """Find a cycle in the waits-for graph; return its cheapest member
-    (prefer no structural effects, then fewest executed steps)."""
+) -> Optional[Tuple[str, List[str]]]:
+    """Find a cycle in the waits-for graph; return ``(victim, cycle)``
+    where the victim is the cycle's cheapest member (prefer no structural
+    effects, then fewest executed steps)."""
     cycle = _find_cycle(waits_for)
     if cycle is None:
         return None
@@ -753,7 +891,16 @@ def _pick_deadlock_victim(
             entry.step_count,
             name,
         )
-    return min(cycle, key=cost)
+    return min(cycle, key=cost), cycle
+
+
+def _pick_deadlock_victim(
+    waits_for: Dict[str, Set[str]], live: Dict[str, _Live]
+) -> Optional[str]:
+    """The victim half of :func:`_find_deadlock` (the naive engine needs
+    no cycle-member accounting)."""
+    found = _find_deadlock(waits_for, live)
+    return None if found is None else found[0]
 
 
 def _find_cycle(graph: Dict[str, Set[str]]) -> Optional[List[str]]:

@@ -41,6 +41,30 @@ def _staggered_start(index: int, arrival_rate: Optional[float]) -> int:
     return int(index / arrival_rate)
 
 
+def _contended_picks(
+    rng: random.Random,
+    entities: Sequence[str],
+    hot: Sequence[str],
+    accesses_per_txn: int,
+    hot_traffic: float,
+) -> List[str]:
+    """One transaction's access set: distinct entities, each drawn from the
+    hot pool with probability ``hot_traffic`` (when a hot pool exists),
+    otherwise from the whole space.  The distinct-pick target is bounded by
+    the reachable pool — all-hot traffic over a hot set smaller than
+    ``accesses_per_txn`` would otherwise spin the rejection loop forever."""
+    target = min(accesses_per_txn, len(entities))
+    if hot and hot_traffic >= 1.0:
+        target = min(target, len(hot))
+    picks: List[str] = []
+    while len(picks) < target:
+        pool = hot if hot and rng.random() < hot_traffic else entities
+        e = rng.choice(pool)
+        if e not in picks:
+            picks.append(e)
+    return picks
+
+
 def dag_structural_state(dag: RootedDag) -> StructuralState:
     """The structural state induced by a database graph: every node and every
     edge entity exists."""
@@ -206,12 +230,7 @@ def random_access_workload(
     hot = entities[: max(1, int(num_entities * hot_fraction))] if hot_fraction else []
     items: List[WorkloadItem] = []
     for i in range(num_txns):
-        picks: List[str] = []
-        while len(picks) < min(accesses_per_txn, num_entities):
-            pool = hot if hot and rng.random() < 0.5 else entities
-            e = rng.choice(pool)
-            if e not in picks:
-                picks.append(e)
+        picks = _contended_picks(rng, entities, hot, accesses_per_txn, 0.5)
         items.append(WorkloadItem(name=f"T{i + 1}", intents=[Access(e) for e in picks]))
     state = StructuralState(frozenset(entities))
     return items, state
@@ -248,14 +267,54 @@ def stress_workload(
     hot = entities[: max(1, int(num_entities * hot_fraction))] if hot_fraction else []
     items: List[WorkloadItem] = []
     for i in range(num_txns):
-        picks: List[str] = []
-        while len(picks) < min(accesses_per_txn, num_entities):
-            pool = hot if hot and rng.random() < 0.5 else entities
-            e = rng.choice(pool)
-            if e not in picks:
-                picks.append(e)
+        picks = _contended_picks(rng, entities, hot, accesses_per_txn, 0.5)
         if ordered:
             picks.sort(key=lambda e: int(e[1:]))
+        items.append(
+            WorkloadItem(
+                name=f"T{i + 1:05d}",
+                intents=[Access(e) for e in picks],
+                start_tick=_staggered_start(i, arrival_rate),
+            )
+        )
+    return items, StructuralState(frozenset(entities))
+
+
+def deadlock_storm_workload(
+    num_entities: int,
+    num_txns: int,
+    accesses_per_txn: int = 3,
+    arrival_rate: float = 0.5,
+    hot_set_size: int = 8,
+    hot_traffic: float = 0.8,
+    seed: int = 0,
+) -> Tuple[List[WorkloadItem], StructuralState]:
+    """A deadlock-heavy open system: short transactions whose access sets
+    are *not* sorted into the global entity order (so opposite lock orders
+    collide), concentrated on a tunable hot set, arriving staggered.
+
+    ``hot_set_size`` is the absolute number of hot entities and
+    ``hot_traffic`` the probability each access lands in it — a small hot
+    set with most of the traffic keeps several live transactions holding
+    one hot entity while waiting for another, which is what breeds
+    waits-for cycles.  This is the scale scenario for the always-fresh
+    waits-for graph: most ticks find no runnable session and go down the
+    deadlock path, which in the naive engine (and the event engine before
+    the incremental graph) re-classified every live session.
+    """
+    if arrival_rate <= 0:
+        raise ValueError("arrival_rate must be positive")
+    if not 0 <= hot_traffic <= 1:
+        raise ValueError("hot_traffic must be in [0, 1]")
+    rng = random.Random(seed)
+    entities = [f"e{i}" for i in range(num_entities)]
+    hot = entities[: max(1, min(hot_set_size, num_entities))]
+    items: List[WorkloadItem] = []
+    for i in range(num_txns):
+        picks = _contended_picks(rng, entities, hot, accesses_per_txn, hot_traffic)
+        # Deliberately unordered: picks stay in draw order, so two
+        # transactions over the same hot entities lock them in different
+        # orders and deadlock instead of queueing.
         items.append(
             WorkloadItem(
                 name=f"T{i + 1:05d}",

@@ -24,6 +24,7 @@ from repro.policies import (
 from repro.sim import (
     LockTable,
     Simulator,
+    deadlock_storm_workload,
     dynamic_traversal_workload,
     fig3_dag,
     fig3_workload,
@@ -73,6 +74,9 @@ def assert_equivalent(policy_factory, workload_factory, context_kwargs_factory=N
         assert naive.aborted == event.aborted
         assert naive.metrics.summary() == event.metrics.summary(), (
             f"seed {seed}: metric summaries diverge"
+        )
+        assert naive.metrics.deadlock_victims == event.metrics.deadlock_victims, (
+            f"seed {seed}: deadlock victim sequences diverge"
         )
         for name, rn in naive.metrics.records.items():
             re_ = event.metrics.records[name]
@@ -198,6 +202,90 @@ class TestEquivalence:
         )
 
 
+class TestDeadlockStormEquivalence:
+    """Deadlock-heavy seeded runs: most ticks go down the no-runnable path,
+    so cycle detection runs on the maintained waits-for graph every few
+    ticks — schedules, summaries, per-transaction records, deadlock counts
+    (inside the summaries), and victim sequences must match the naive
+    engine's fresh-rebuild-per-tick reference exactly."""
+
+    def test_two_phase_storm(self):
+        assert_equivalent(
+            TwoPhasePolicy,
+            lambda s: deadlock_storm_workload(
+                40, 60, accesses_per_txn=3, arrival_rate=0.6,
+                hot_set_size=5, hot_traffic=0.8, seed=s,
+            ),
+            seeds=range(5),
+        )
+
+    def test_two_phase_storm_shared_locks(self):
+        # Shared modes are where the grantability-filtered wake-ups bite:
+        # a release can weaken an entity's holder set without unblocking
+        # its EXCLUSIVE waiters, whose waits-for edges must be refreshed
+        # in place rather than via a (now absent) wake-up.
+        assert_equivalent(
+            lambda: TwoPhasePolicy(use_shared_locks=True),
+            lambda s: deadlock_storm_workload(
+                20, 40, accesses_per_txn=3, arrival_rate=0.8,
+                hot_set_size=4, hot_traffic=0.8, seed=s,
+            ),
+            seeds=range(5),
+        )
+
+    def test_altruistic_storm(self):
+        # Policy-wait and lock-wait edges mix in the detected cycles.
+        assert_equivalent(
+            AltruisticPolicy,
+            lambda s: deadlock_storm_workload(
+                30, 40, accesses_per_txn=2, arrival_rate=0.4,
+                hot_set_size=5, hot_traffic=0.6, seed=s,
+            ),
+            seeds=range(4),
+        )
+
+    def test_storms_actually_storm(self):
+        # The family must breed cycles, or the equivalence above is hollow.
+        items, initial = deadlock_storm_workload(
+            40, 60, accesses_per_txn=3, arrival_rate=0.6,
+            hot_set_size=5, hot_traffic=0.8, seed=0,
+        )
+        result = Simulator(TwoPhasePolicy(), seed=0).run(
+            items, initial, validate=False
+        )
+        m = result.metrics
+        assert m.deadlocks > 0
+        assert len(m.deadlock_victims) == m.deadlocks
+        assert all(v.startswith("T") for v in m.deadlock_victims)
+
+    def test_all_hot_traffic_with_tiny_hot_set_terminates(self):
+        # hot_traffic=1.0 with fewer hot entities than accesses_per_txn
+        # used to spin the distinct-pick loop forever; the target is now
+        # bounded by the reachable pool.
+        items, _ = deadlock_storm_workload(
+            50, 5, accesses_per_txn=3, hot_set_size=2, hot_traffic=1.0,
+            seed=0,
+        )
+        assert all(len(item.intents) == 2 for item in items)
+
+    def test_unordered_and_hot_set_shape(self):
+        items, _ = deadlock_storm_workload(
+            50, 200, accesses_per_txn=3, hot_set_size=5, hot_traffic=1.0,
+            arrival_rate=2.0, seed=3,
+        )
+        assert len(items) == 200
+        assert items[-1].start_tick == int(199 / 2.0)
+        # hot_traffic=1.0 confines every access to the hot set...
+        hot = {f"e{i}" for i in range(5)}
+        assert all(i.entity in hot for item in items for i in item.intents)
+        # ...and access sets stay in draw order, not global entity order.
+        assert any(
+            [int(i.entity[1:]) for i in item.intents]
+            != sorted(int(i.entity[1:]) for i in item.intents)
+            for item in items
+        )
+
+
 class TestEventEngineWins:
     def test_fewer_classifications_on_blocking_workload(self):
         """The event engine must do strictly less classification work than
@@ -240,6 +328,46 @@ class TestEventEngineWins:
             f"{event_work} vs {naive_work}"
         )
 
+    def test_no_runnable_ticks_do_not_rescan_live(self):
+        """Deadlock storms: most ticks hit the no-runnable path, which used
+        to re-classify every live session as a safety net.  With the
+        always-fresh waits-for graph the event engine's classification work
+        must stay a small fraction of the naive rescan even here."""
+        items, initial = deadlock_storm_workload(
+            100, 200, accesses_per_txn=2, arrival_rate=0.5,
+            hot_set_size=6, hot_traffic=0.7, seed=1,
+        )
+        results = {}
+        for engine in ("naive", "event"):
+            results[engine] = Simulator(
+                TwoPhasePolicy(), seed=1, engine=engine, max_ticks=500_000
+            ).run(items, initial, validate=False)
+        naive_m = results["naive"].metrics
+        event_m = results["event"].metrics
+        assert results["naive"].schedule.events == results["event"].schedule.events
+        assert naive_m.deadlocks > 0, "the storm must actually deadlock"
+        assert event_m.classify_checks * 5 < naive_m.classify_checks, (
+            f"expected >=5x fewer classifications on a deadlock-heavy run, "
+            f"got {event_m.classify_checks} vs {naive_m.classify_checks}"
+        )
+
+    def test_waits_for_indexes_drain(self):
+        """After a deadlock-heavy run completes, both sides of the waits-for
+        graph (forward edges and the reverse blocker index) must be empty —
+        every block/wake/commit/abort kept them in sync."""
+        from repro.sim.scheduler import _Run
+
+        items, initial = deadlock_storm_workload(
+            30, 40, accesses_per_txn=2, arrival_rate=0.5,
+            hot_set_size=4, hot_traffic=0.8, seed=2,
+        )
+        run = _Run(Simulator(TwoPhasePolicy(), seed=2), items)
+        run.execute()
+        assert run.metrics.deadlocks > 0
+        assert run.waits_for == {}
+        assert run.blocked_by == {}
+        assert run.watchers == {}
+
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="unknown engine"):
             Simulator(TwoPhasePolicy(), engine="psychic")
@@ -273,6 +401,61 @@ class TestWaitQueues:
         # Downgrading EXCLUSIVE -> SHARED is a real weakening: wake.
         t.acquire("T1", "a", LockMode.SHARED)
         assert t.release("T1", "a", LockMode.EXCLUSIVE) == ["T2"]
+
+    def test_still_conflicting_waiter_not_woken(self):
+        # T1's departure weakens the holder set, but the EXCLUSIVE waiter
+        # still conflicts with T2's SHARED hold: waking it was a pure
+        # wasted re-classification.
+        t = LockTable()
+        t.acquire("T1", "a", LockMode.SHARED)
+        t.acquire("T2", "a", LockMode.SHARED)
+        t.add_waiter("T3", "a", LockMode.EXCLUSIVE)
+        assert t.release("T1", "a", LockMode.SHARED) == []
+        assert t.release("T2", "a", LockMode.SHARED) == ["T3"]
+
+    def test_downgrade_wakes_only_compatible_waiters(self):
+        # EXCLUSIVE→SHARED downgrade: the SHARED waiter becomes grantable,
+        # the EXCLUSIVE waiter still conflicts and stays asleep.
+        t = LockTable()
+        t.acquire("T1", "a", LockMode.SHARED)
+        t.acquire("T1", "a", LockMode.EXCLUSIVE)
+        t.add_waiter("T2", "a", LockMode.EXCLUSIVE)
+        t.add_waiter("T3", "a", LockMode.SHARED)
+        assert t.release("T1", "a", LockMode.EXCLUSIVE) == ["T3"]
+
+    def test_release_all_wake_filters_by_grantability(self):
+        t = LockTable()
+        t.acquire("T1", "a", LockMode.SHARED)
+        t.acquire("T2", "a", LockMode.SHARED)
+        t.acquire("T1", "b", LockMode.EXCLUSIVE)
+        t.add_waiter("T3", "a", LockMode.EXCLUSIVE)
+        t.add_waiter("T4", "b", LockMode.EXCLUSIVE)
+        _, woken = t.release_all_wake("T1")
+        # T3 still conflicts with T2 on "a"; only T4 can actually go.
+        assert woken == ["T4"]
+
+    def test_would_weaken_mirrors_release(self):
+        t = LockTable()
+        assert not t.would_weaken("T1", "a", LockMode.SHARED)
+        t.acquire("T1", "a", LockMode.SHARED)
+        t.acquire("T1", "a", LockMode.EXCLUSIVE)
+        # Dropping the SHARED half of the upgrade changes nothing...
+        assert not t.would_weaken("T1", "a", LockMode.SHARED)
+        # ...dropping the EXCLUSIVE half is a real downgrade.
+        assert t.would_weaken("T1", "a", LockMode.EXCLUSIVE)
+        t.release("T1", "a", LockMode.EXCLUSIVE)
+        assert t.would_weaken("T1", "a", LockMode.SHARED)
+        assert not t.would_weaken("T1", "a", LockMode.EXCLUSIVE)
+
+    def test_waiter_modes_reports_requests(self):
+        t = LockTable()
+        t.add_waiter("T2", "a", LockMode.EXCLUSIVE)
+        t.add_waiter("T3", "a", LockMode.SHARED)
+        assert t.waiter_modes("a") == [
+            ("T2", LockMode.EXCLUSIVE),
+            ("T3", LockMode.SHARED),
+        ]
+        assert t.waiter_modes("b") == []
 
     def test_release_all_wake_combines_entities(self):
         t = LockTable()

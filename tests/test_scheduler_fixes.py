@@ -11,6 +11,12 @@
    limit (it used to be a recursive DFS);
 7. aborts erase a transaction's events through the per-transaction index
    (tombstones) rather than rebuilding the whole log;
+8. the idle-gap jump respects ``max_ticks`` (a far-future ``start_tick``
+   used to jump the clock past the cap and admit/execute anyway);
+9. ``active_integral`` counts a transaction from its admission tick, so
+   ``mean_active`` no longer undercounts staggered arrivals;
+10. ``CellResult.row()`` surfaces the computed standard deviations and
+    huge live populations are truncated in ``SimulationError`` messages;
 
 plus direct unit coverage of the deadlock machinery
 (``_pick_deadlock_victim`` / ``_find_cycle``) and the livelock error path.
@@ -304,6 +310,24 @@ class TestRunCellZeroRuns:
         assert cell.row()["serializable"] is False
 
 
+class TestRowSurfacesStdevs:
+    def test_row_includes_sd_columns(self):
+        from repro.sim import long_transaction_workload
+
+        def factory(seed):
+            return long_transaction_workload(5, 2, seed=seed)
+
+        cell = run_cell(TwoPhasePolicy(), "long", factory, seeds=range(4))
+        row = cell.row()
+        for k, v in cell.stdevs.items():
+            assert row[f"{k}_sd"] == round(v, 4), (
+                "row() must surface the computed standard deviations"
+            )
+        assert any(v > 0 for v in cell.stdevs.values()), (
+            "different seeds should produce some spread"
+        )
+
+
 # ----------------------------------------------------------------------
 # Deadlock machinery units
 # ----------------------------------------------------------------------
@@ -321,6 +345,114 @@ def _live_entry(name, steps_executed=0, structural=False):
     )
     entry.step_count = steps_executed
     return entry
+
+
+class _RecordingLeakyContext(_LeakyContext):
+    """Leaky sessions plus a record of every begin() call."""
+
+    def __init__(self):
+        self.begun = []
+
+    def begin(self, name, intents):
+        self.begun.append(name)
+        return super().begin(name, intents)
+
+
+class RecordingLeakyPolicy(LockingPolicy):
+    name = "RecordingLeaky"
+
+    def __init__(self):
+        self.contexts = []
+
+    def create_context(self, **kwargs):
+        ctx = _RecordingLeakyContext()
+        self.contexts.append(ctx)
+        return ctx
+
+
+class TestIdleGapRespectsMaxTicks:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_far_future_arrival_raises_before_admission(self, engine):
+        # The idle-gap jump happened *after* the max_ticks guard, so a
+        # far-future start_tick jumped the clock past the cap and the run
+        # admitted and executed the arrival before the guard caught up.
+        items = [
+            WorkloadItem("T1", [Access("a")]),
+            WorkloadItem("T2", [Access("a")], start_tick=10_000),
+        ]
+        policy = RecordingLeakyPolicy()
+        sim = Simulator(policy, seed=0, engine=engine, max_ticks=100)
+        with pytest.raises(SimulationError, match="exceeded 100 ticks"):
+            sim.run(items, StructuralState.of("a"), validate=False)
+        assert policy.contexts[0].begun == ["T1"], (
+            "the guard must fire before the far-future arrival is admitted"
+        )
+
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_arrival_exactly_at_cap_still_runs(self, engine):
+        items = [WorkloadItem("T1", [Access("a")], start_tick=95)]
+        result = Simulator(
+            TwoPhasePolicy(), seed=0, engine=engine, max_ticks=100
+        ).run(items, StructuralState.of("a"), validate=False)
+        assert result.committed == ("T1",)
+        assert result.metrics.records["T1"].start_tick == 95
+
+
+class TestActiveIntegralCountsAdmissionTick:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_arrival_counts_from_its_first_tick(self, engine):
+        # T1 idles until tick 5, then is live for every remaining tick of
+        # the run: the integral is exactly (ticks - 4), admission tick
+        # included (it used to be invisible until tick 6).
+        items = [WorkloadItem("T1", [Access("a")], start_tick=5)]
+        result = Simulator(TwoPhasePolicy(), seed=0, engine=engine).run(
+            items, StructuralState.of("a"), validate=False
+        )
+        m = result.metrics
+        assert m.records["T1"].start_tick == 5
+        assert m.active_integral == m.ticks - 4
+
+    def test_engines_agree_on_mean_active_under_staggering(self):
+        items = [
+            WorkloadItem(f"T{i}", [Access(f"e{i % 3}")], start_tick=3 * i)
+            for i in range(6)
+        ]
+        initial = StructuralState.of("e0", "e1", "e2")
+        summaries = {
+            engine: Simulator(TwoPhasePolicy(), seed=0, engine=engine)
+            .run(items, initial, validate=False)
+            .metrics.summary()
+            for engine in ENGINES
+        }
+        assert summaries["event"] == summaries["naive"]
+        assert summaries["event"]["mean_active"] > 0
+
+
+class TestErrorMessageTruncation:
+    def test_small_population_is_listed_in_full(self):
+        from repro.sim.scheduler import _truncated
+
+        assert _truncated(["T1", "T2"]) == "['T1', 'T2']"
+
+    def test_large_population_is_truncated(self):
+        from repro.sim.scheduler import _truncated
+
+        names = [f"T{i:05d}" for i in range(5000)]
+        text = _truncated(names)
+        assert "+4988 more" in text
+        assert len(text) < 300
+
+    def test_max_ticks_error_mentions_counts_not_every_name(self):
+        items = [
+            WorkloadItem(f"T{i:04d}", [Access("a"), Access("b")])
+            for i in range(200)
+        ]
+        with pytest.raises(SimulationError) as exc:
+            Simulator(TwoPhasePolicy(), seed=0, max_ticks=3).run(
+                items, StructuralState.of("a", "b"), validate=False
+            )
+        assert "more]" in str(exc.value)
+        assert len(str(exc.value)) < 400
 
 
 class TestIdleGapArrival:
