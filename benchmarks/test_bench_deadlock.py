@@ -22,11 +22,15 @@ small hot set, staggered arrivals) through **both** engines and asserts:
 ``BENCH_SMOKE_SCALE`` (a float in ``(0, 1]``, default 1) shrinks the
 transaction counts for CI smoke runs; below full scale the ratio assertion
 relaxes (the saving grows with the live population, which grows with the
-workload).  Results are written to ``BENCH_deadlock_stress.json`` so CI
-can upload them as an artifact.
+workload).  Results are written to ``BENCH_deadlock_stress.json`` (the
+unified artifact schema — see benchmarks/README.md) so CI can upload them.
+
+Workloads are built through the registered grid factories
+(:data:`repro.sim.GRID_FACTORIES`) — the same by-name specs the parallel
+grid runner pickles — so this bench and the grid harness exercise one
+construction path.
 """
 
-import json
 import os
 import time
 from pathlib import Path
@@ -34,7 +38,7 @@ from pathlib import Path
 from conftest import banner
 
 from repro.policies import AltruisticPolicy, TwoPhasePolicy
-from repro.sim import Simulator, deadlock_storm_workload, format_table
+from repro.sim import Simulator, format_table, grid_factory, write_bench_artifact
 
 SCALE = float(os.environ.get("BENCH_SMOKE_SCALE", "1"))
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_deadlock_stress.json"
@@ -44,12 +48,16 @@ def _scaled(n: int) -> int:
     return max(50, int(n * SCALE))
 
 
-def _run_cell(name, policy_factory, items, initial):
+def _run_cell(name, policy_factory, build):
     """Run one storm under both engines; assert equivalence; return the
-    per-engine work numbers."""
+    per-engine work numbers.  ``build()`` constructs ``(items, initial,
+    context_kwargs)`` fresh per engine so nothing is shared between runs."""
     results = {}
     rows = []
+    num_txns = 0
     for engine in ("naive", "event"):
+        items, initial, _ = build()
+        num_txns = len(items)
         sim = Simulator(
             policy_factory(), seed=0, engine=engine, max_ticks=2_000_000
         )
@@ -98,14 +106,14 @@ def _run_cell(name, policy_factory, items, initial):
 
     checks = {e: r.metrics.classify_checks for e, (r, _) in results.items()}
     ratio = checks["naive"] / max(1, checks["event"])
-    floor = 5.0 if len(items) >= 1000 else 2.0
+    floor = 5.0 if num_txns >= 1000 else 2.0
     assert ratio >= floor, (
         f"{name}: expected >= {floor}x fewer classify checks at "
-        f"{len(items)} txns, got {ratio:.1f}x"
+        f"{num_txns} txns, got {ratio:.1f}x"
     )
     return {
         "workload": name,
-        "txns": len(items),
+        "txns": num_txns,
         "ticks": naive.metrics.ticks,
         "deadlocks": naive.metrics.deadlocks,
         "committed": naive.metrics.committed,
@@ -128,11 +136,14 @@ def test_deadlock_storm_stress():
     # 8-entity hot set, arrivals just above service capacity.  Most ticks
     # find every live session blocked, so the deadlock path dominates —
     # each such tick used to re-classify the whole (growing) backlog.
-    items, initial = deadlock_storm_workload(
-        600, _scaled(1200), accesses_per_txn=2, arrival_rate=0.4,
-        hot_set_size=8, hot_traffic=0.5, seed=0,
-    )
-    cells.append(_run_cell("2pl-deadlock-storm", TwoPhasePolicy, items, initial))
+    cells.append(_run_cell(
+        "2pl-deadlock-storm",
+        TwoPhasePolicy,
+        lambda: grid_factory("deadlock_storm")(
+            0, num_entities=600, num_txns=_scaled(1200), accesses_per_txn=2,
+            arrival_rate=0.4, hot_set_size=8, hot_traffic=0.5,
+        ),
+    ))
 
     # Altruistic storm: the same shape through a dynamic
     # (dependency-declaring) policy, so policy-wait edges and lock-wait
@@ -141,15 +152,18 @@ def test_deadlock_storm_stress():
     # storm — intact at smoke scale (the naive engine's O(live·donors)
     # admission work is why this cell stays smaller than the 2PL one).
     n = _scaled(150)
-    items, initial = deadlock_storm_workload(
-        n, n, accesses_per_txn=2, arrival_rate=0.15,
-        hot_set_size=8, hot_traffic=0.45, seed=0,
-    )
     cells.append(_run_cell(
-        "altruistic-deadlock-storm", AltruisticPolicy, items, initial
+        "altruistic-deadlock-storm",
+        AltruisticPolicy,
+        lambda: grid_factory("deadlock_storm")(
+            0, num_entities=n, num_txns=n, accesses_per_txn=2,
+            arrival_rate=0.15, hot_set_size=8, hot_traffic=0.45,
+        ),
     ))
 
-    RESULTS_PATH.write_text(json.dumps({"scale": SCALE, "cells": cells}, indent=2))
+    write_bench_artifact(
+        RESULTS_PATH, "deadlock_stress", cells, scale=SCALE
+    )
     print(format_table(
         cells,
         ["workload", "txns", "ticks", "deadlocks", "naive_checks",
@@ -161,9 +175,9 @@ def test_deadlock_storm_stress():
 
 def test_bench_deadlock_kernel(benchmark):
     """Kernel: one 200-transaction 2PL deadlock storm, event engine."""
-    items, initial = deadlock_storm_workload(
-        100, 200, accesses_per_txn=2, arrival_rate=0.4,
-        hot_set_size=6, hot_traffic=0.5, seed=0,
+    items, initial, _ = grid_factory("deadlock_storm")(
+        0, num_entities=100, num_txns=200, accesses_per_txn=2,
+        arrival_rate=0.4, hot_set_size=6, hot_traffic=0.5,
     )
 
     def run():

@@ -20,25 +20,23 @@ dynamic policies through **both** engines and asserts:
 ``BENCH_SMOKE_SCALE`` (a float in ``(0, 1]``, default 1) shrinks the
 transaction counts for CI smoke runs; below full scale the ratio assertion
 relaxes (the saving grows with the live population, which grows with the
-workload).  Results are written to ``BENCH_invalidation_stress.json`` so CI
-can upload them as an artifact.
+workload).  Results are written to ``BENCH_invalidation_stress.json`` (the
+unified artifact schema — see benchmarks/README.md) so CI can upload them.
+
+Workloads are built through the registered grid factories
+(:data:`repro.sim.GRID_FACTORIES`) — the same by-name specs the parallel
+grid runner pickles — so this bench and the grid harness exercise one
+construction path.
 """
 
-import json
 import os
 import time
 from pathlib import Path
 
 from conftest import banner
 
-from repro.graphs import random_rooted_dag
 from repro.policies import AltruisticPolicy, DdagPolicy
-from repro.sim import (
-    Simulator,
-    dynamic_traversal_workload,
-    format_table,
-    stress_workload,
-)
+from repro.sim import Simulator, format_table, grid_factory, write_bench_artifact
 
 SCALE = float(os.environ.get("BENCH_SMOKE_SCALE", "1"))
 RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_invalidation_stress.json"
@@ -48,18 +46,23 @@ def _scaled(n: int) -> int:
     return max(50, int(n * SCALE))
 
 
-def _run_cell(name, policy_factory, items, initial, context_kwargs_factory=None):
+def _run_cell(name, policy_factory, build):
     """Run one workload under both engines; assert equivalence; return the
-    per-engine work numbers."""
+    per-engine work numbers.  ``build()`` constructs ``(items, initial,
+    context_kwargs)`` fresh per engine — dynamic policies mutate the
+    context's graph, so nothing may be shared between the two runs."""
     results = {}
     rows = []
+    num_txns = 0
     for engine in ("naive", "event"):
+        items, initial, context_kwargs = build()
+        num_txns = len(items)
         sim = Simulator(
             policy_factory(),
             seed=0,
             engine=engine,
             max_ticks=2_000_000,
-            context_kwargs=context_kwargs_factory() if context_kwargs_factory else {},
+            context_kwargs=context_kwargs,
         )
         start = time.perf_counter()
         result = sim.run(items, initial, validate=False)
@@ -103,14 +106,14 @@ def _run_cell(name, policy_factory, items, initial, context_kwargs_factory=None)
         for e, (r, _) in results.items()
     }
     ratio = checks["naive"] / max(1, checks["event"])
-    floor = 10.0 if len(items) >= 1000 else 2.0
+    floor = 10.0 if num_txns >= 1000 else 2.0
     assert ratio >= floor, (
         f"{name}: expected >= {floor}x fewer classification+admission checks "
-        f"at {len(items)} txns, got {ratio:.1f}x"
+        f"at {num_txns} txns, got {ratio:.1f}x"
     )
     return {
         "workload": name,
-        "txns": len(items),
+        "txns": num_txns,
         "ticks": naive.metrics.ticks,
         "committed": naive.metrics.committed,
         "naive_checks": checks["naive"],
@@ -133,32 +136,28 @@ def test_dynamic_policy_invalidation_stress():
     # just above the simulator's service capacity, so a standing population
     # of wake-constrained and lock-blocked sessions accumulates.  AL2 is
     # the shared-state verdict; donations/locked-points invalidate it.
-    items, initial = stress_workload(
-        2000, _scaled(1200), arrival_rate=0.085, hot_fraction=0.0, seed=0
-    )
-    cells.append(_run_cell("altruistic-stress", AltruisticPolicy, items, initial))
+    cells.append(_run_cell(
+        "altruistic-stress",
+        AltruisticPolicy,
+        lambda: grid_factory("stress")(
+            0, num_entities=2000, num_txns=_scaled(1200),
+            arrival_rate=0.085, hot_fraction=0.0,
+        ),
+    ))
 
     # DDAG: dynamic traversals (structural churn: fresh-leaf inserts) over
     # a shared rooted DAG at an overload arrival rate, piling traversals
     # behind the hot upper nodes.  L5 is the shared-state verdict; graph
-    # mutations invalidate the affected node channels.
-    dag_seed = 0
-    items, initial = dynamic_traversal_workload(
-        random_rooted_dag(60, 0.05, seed=dag_seed),
-        _scaled(1100),
-        3,
-        insert_prob=0.3,
-        seed=0,
-        arrival_rate=0.18,
-    )
+    # mutations invalidate the affected node channels.  The registered
+    # factory derives the DAG (and the context's snapshot of it) from the
+    # seed, fresh per engine run.
     cells.append(_run_cell(
         "ddag-dynamic-stress",
         DdagPolicy,
-        items,
-        initial,
-        context_kwargs_factory=lambda: {
-            "dag": random_rooted_dag(60, 0.05, seed=dag_seed).snapshot()
-        },
+        lambda: grid_factory("dynamic_traversal")(
+            0, nodes=60, edge_prob=0.05, num_txns=_scaled(1100),
+            walk_length=3, insert_prob=0.3, arrival_rate=0.18,
+        ),
     ))
 
     # The altruistic cell must actually exercise the notification path —
@@ -166,7 +165,9 @@ def test_dynamic_policy_invalidation_stress():
     # re-checks (or donations stopped being reported).
     assert cells[0]["invalidations"] > 0
 
-    RESULTS_PATH.write_text(json.dumps({"scale": SCALE, "cells": cells}, indent=2))
+    write_bench_artifact(
+        RESULTS_PATH, "invalidation_stress", cells, scale=SCALE
+    )
     print(format_table(
         cells,
         ["workload", "txns", "naive_checks", "event_checks", "ratio",
@@ -178,8 +179,8 @@ def test_dynamic_policy_invalidation_stress():
 
 def test_bench_invalidation_kernel(benchmark):
     """Kernel: one 300-transaction altruistic stress run, event engine."""
-    items, initial = stress_workload(
-        600, 300, arrival_rate=0.085, hot_fraction=0.0, seed=0
+    items, initial, _ = grid_factory("stress")(
+        0, num_entities=600, num_txns=300, arrival_rate=0.085, hot_fraction=0.0
     )
 
     def run():

@@ -28,10 +28,13 @@ from repro.core import is_serializable
 from repro.graphs import random_rooted_dag
 from repro.policies import AltruisticPolicy, DdagPolicy, TwoPhasePolicy
 from repro.sim import (
+    GridSpec,
+    PolicySpec,
     Simulator,
+    WorkloadSpec,
     format_table,
     long_transaction_workload,
-    run_cell,
+    run_grid,
     stress_workload,
     traversal_workload,
 )
@@ -77,21 +80,20 @@ def test_altruistic_vs_2pl_long_transactions():
 
 def test_ddag_vs_2pl_traversals():
     banner("[CHMS94-substitute] concurrent traversals: DDAG vs strict 2PL")
-    cells = []
-    for policy, ctx in (
-        (DdagPolicy(), lambda seed: {"dag": random_rooted_dag(10, 0.25, seed=seed).snapshot()}),
-        (TwoPhasePolicy(), None),
-    ):
-        cell = run_cell(
-            policy,
-            "traversals",
-            lambda seed: traversal_workload(
-                random_rooted_dag(10, 0.25, seed=seed), 6, 5, seed=seed
-            ),
-            seeds=SEEDS,
-            context_kwargs_factory=ctx,
-        )
-        cells.append(cell)
+    # A declarative grid: the registered "traversal" factory derives both
+    # the workload and the DDAG context from the seed (2PL ignores the
+    # context kwarg), so the whole cell is a picklable spec.
+    spec = GridSpec(
+        policies=(PolicySpec(DdagPolicy), PolicySpec(TwoPhasePolicy)),
+        workloads=(
+            WorkloadSpec("traversal", {
+                "nodes": 10, "edge_prob": 0.25, "num_txns": 6,
+                "walk_length": 5,
+            }, label="traversals"),
+        ),
+        seeds=tuple(SEEDS),
+    )
+    cells = run_grid(spec, workers=0)
     rows = [c.row() for c in cells]
     print(format_table(
         rows,

@@ -1,0 +1,194 @@
+"""Command-line experiment grids: ``python -m repro.bench``.
+
+Runs a named grid preset (policies × workloads × seeds) through the
+multiprocess grid runner and writes the unified BENCH artifact.  Examples::
+
+    # the 1,200-txn open-system stress grid, 4 worker processes
+    python -m repro.bench stress --workers 4
+
+    # CI smoke: shrunken deadlock storms, serial-vs-parallel comparable
+    python -m repro.bench deadlock --scale 0.1 --workers 2 --out BENCH_x.json
+
+    # what exists
+    python -m repro.bench --list
+
+``--scale`` shrinks the transaction counts exactly like the benches'
+``BENCH_SMOKE_SCALE``; ``--workers 0`` (default) is the in-process
+reference path, so the same invocation with and without workers must
+produce identical rows.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+from .policies import AltruisticPolicy, DdagPolicy, TwoPhasePolicy
+from .sim import (
+    CellResult,
+    GridSpec,
+    PolicySpec,
+    WorkloadSpec,
+    cell_rows_with_work,
+    format_table,
+    grid_factory_names,
+    run_grid,
+    write_bench_artifact,
+)
+
+
+def _scaled(n: int, scale: float) -> int:
+    return max(50, int(n * scale))
+
+
+def _preset_stress(scale: float) -> GridSpec:
+    """Open-system short-transaction stress: 2PL vs altruistic at 1,200
+    transactions (the invalidation bench's altruistic-stress shape)."""
+    n = _scaled(1200, scale)
+    return GridSpec(
+        policies=(PolicySpec(TwoPhasePolicy), PolicySpec(AltruisticPolicy)),
+        workloads=(
+            WorkloadSpec("stress", {
+                "num_entities": 2000, "num_txns": n,
+                "arrival_rate": 0.085, "hot_fraction": 0.0,
+            }),
+        ),
+        seeds=(0, 1, 2),
+        max_ticks=2_000_000,
+        check_serializability=False,
+    )
+
+
+def _preset_deadlock(scale: float) -> GridSpec:
+    """Deadlock storms (unordered access sets over a hot set): 2PL vs
+    altruistic, the always-fresh waits-for graph's scale scenario."""
+    return GridSpec(
+        policies=(PolicySpec(TwoPhasePolicy), PolicySpec(AltruisticPolicy)),
+        workloads=(
+            WorkloadSpec("deadlock_storm", {
+                "num_entities": 600, "num_txns": _scaled(1200, scale),
+                "accesses_per_txn": 2, "arrival_rate": 0.4,
+                "hot_set_size": 8, "hot_traffic": 0.5,
+            }),
+        ),
+        seeds=(0, 1, 2),
+        max_ticks=2_000_000,
+        check_serializability=False,
+    )
+
+
+def _preset_traversal(scale: float) -> GridSpec:
+    """DDAG vs 2PL on random-DAG traversals (the [CHMS94]-substitute
+    comparison); already small, so ``--scale`` leaves it alone and every
+    seed's schedule is serializability-checked."""
+    return GridSpec(
+        policies=(PolicySpec(DdagPolicy), PolicySpec(TwoPhasePolicy)),
+        workloads=(
+            WorkloadSpec("traversal", {
+                "nodes": 10, "edge_prob": 0.25, "num_txns": 6,
+                "walk_length": 5,
+            }),
+        ),
+        seeds=tuple(range(8)),
+        check_serializability=True,
+    )
+
+
+PRESETS: Dict[str, Callable[[float], GridSpec]] = {
+    "stress": _preset_stress,
+    "deadlock": _preset_deadlock,
+    "traversal": _preset_traversal,
+}
+
+_COLUMNS = [
+    "policy", "workload", "runs", "failures", "serializable",
+    "ticks", "committed", "throughput", "mean_latency", "wait_fraction",
+]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run a (policy × workload × seed) experiment grid.",
+    )
+    parser.add_argument(
+        "preset", nargs="?", choices=sorted(PRESETS),
+        help="grid preset to run",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=0,
+        help="worker processes (0 = in-process reference path)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=None,
+        help="override the preset's seed count with range(N)",
+    )
+    parser.add_argument(
+        "--scale", type=float, default=1.0,
+        help="shrink transaction counts (like BENCH_SMOKE_SCALE)",
+    )
+    parser.add_argument(
+        "--engine", choices=("event", "naive"), default=None,
+        help="override the scheduler engine",
+    )
+    parser.add_argument(
+        "--max-ticks", type=int, default=None,
+        help="override the per-run tick budget",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="artifact path (default: BENCH_grid_<preset>.json)",
+    )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list presets and registered workload factories, then exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list:
+        print("presets:   ", ", ".join(sorted(PRESETS)))
+        print("factories: ", ", ".join(grid_factory_names()))
+        return 0
+    if args.preset is None:
+        build_parser().error("a preset is required (or --list)")
+    spec = PRESETS[args.preset](args.scale)
+    overrides: Dict[str, object] = {}
+    if args.seeds is not None:
+        overrides["seeds"] = tuple(range(args.seeds))
+    if args.engine is not None:
+        overrides["engine"] = args.engine
+    if args.max_ticks is not None:
+        overrides["max_ticks"] = args.max_ticks
+    if overrides:
+        spec = dataclasses.replace(spec, **overrides)
+
+    def announce(cell: CellResult) -> None:
+        print(f"  cell done: {cell.policy} × {cell.workload} "
+              f"({cell.runs} runs, {cell.failures} failures)")
+
+    start = time.perf_counter()
+    cells = run_grid(spec, workers=args.workers, progress=announce)
+    wall = time.perf_counter() - start
+    rows = [c.row() for c in cells]
+    print(format_table(rows, _COLUMNS))
+    print(f"\n{len(cells)} cells × {len(spec.seeds)} seeds in {wall:.2f}s "
+          f"({args.workers} workers)")
+    out = args.out or f"BENCH_grid_{args.preset}.json"
+    write_bench_artifact(
+        out, f"grid_{args.preset}",
+        cell_rows_with_work(cells),
+        scale=args.scale, workers=args.workers, wall_s=wall,
+        extra={"engine": spec.engine, "seeds": list(spec.seeds)},
+    )
+    print(f"artifact: {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

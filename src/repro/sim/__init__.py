@@ -1,11 +1,23 @@
 """Discrete-event concurrency simulator: the substitute for the paper's
 companion performance study [CHMS94]."""
 
+from .artifacts import bench_artifact, cell_rows_with_work, write_bench_artifact
+from .grid import GridSpec, PolicySpec, WorkloadSpec, run_grid
 from .lock_table import LockTable
 from .metrics import Metrics, TxnRecord
-from .runner import CellResult, WorkloadFactory, format_table, run_cell
+from .runner import (
+    FAILED_SEEDS_LIMIT,
+    CellResult,
+    SeedOutcome,
+    WorkloadFactory,
+    aggregate_outcomes,
+    format_table,
+    run_cell,
+    run_seed,
+)
 from .scheduler import SimResult, Simulator, WorkloadItem
 from .workloads import (
+    GRID_FACTORIES,
     dag_structural_state,
     ddag_cone_intents,
     ddag_restart_from_cone,
@@ -13,21 +25,33 @@ from .workloads import (
     dynamic_traversal_workload,
     fig3_dag,
     fig3_workload,
+    grid_factory,
+    grid_factory_names,
     long_transaction_workload,
     random_access_workload,
+    register_grid_factory,
     stress_workload,
     traversal_workload,
 )
 
 __all__ = [
     "CellResult",
+    "FAILED_SEEDS_LIMIT",
+    "GRID_FACTORIES",
+    "GridSpec",
     "LockTable",
     "Metrics",
+    "PolicySpec",
+    "SeedOutcome",
     "SimResult",
     "Simulator",
     "TxnRecord",
     "WorkloadFactory",
     "WorkloadItem",
+    "WorkloadSpec",
+    "aggregate_outcomes",
+    "bench_artifact",
+    "cell_rows_with_work",
     "dag_structural_state",
     "ddag_cone_intents",
     "ddag_restart_from_cone",
@@ -36,9 +60,15 @@ __all__ = [
     "fig3_dag",
     "fig3_workload",
     "format_table",
+    "grid_factory",
+    "grid_factory_names",
     "long_transaction_workload",
     "random_access_workload",
+    "register_grid_factory",
     "run_cell",
+    "run_grid",
+    "run_seed",
     "stress_workload",
     "traversal_workload",
+    "write_bench_artifact",
 ]

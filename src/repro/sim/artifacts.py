@@ -1,0 +1,82 @@
+"""Unified BENCH_*.json artifact writer.
+
+The stress benches used to each hand-roll their own ``json.dumps`` payload,
+so the uploaded artifacts drifted apart (different key names, no schema
+marker, no record of the worker count or wall clock).  Every bench — and
+the ``python -m repro.bench`` CLI — now writes through
+:func:`write_bench_artifact`, so the perf trajectory is machine-comparable
+across PRs:
+
+.. code-block:: json
+
+    {
+      "bench": "<bench name>",
+      "schema": 1,
+      "scale": 1.0,            // BENCH_SMOKE_SCALE the run used
+      "workers": 0,            // grid worker processes (0 = in-process)
+      "wall_s": 12.34,         // harness wall clock, if measured
+      "rows": [ ... ],         // per-cell dict rows (CellResult.row() or
+                               //  bench-specific comparison rows); grid
+                               //  rows carry engine work counters under
+                               //  rows[*]["work"] (cell_rows_with_work)
+      "extra": { ... }         // optional bench-specific payload
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+#: Bump when the payload layout changes incompatibly.
+SCHEMA_VERSION = 1
+
+
+def bench_artifact(
+    bench: str,
+    rows: Sequence[Dict[str, object]],
+    *,
+    scale: float = 1.0,
+    workers: int = 0,
+    wall_s: Optional[float] = None,
+    extra: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """Assemble the unified artifact payload (see the module docstring)."""
+    payload: Dict[str, object] = {
+        "bench": bench,
+        "schema": SCHEMA_VERSION,
+        "scale": scale,
+        "workers": workers,
+        "rows": list(rows),
+    }
+    if wall_s is not None:
+        payload["wall_s"] = round(wall_s, 3)
+    if extra:
+        payload["extra"] = dict(extra)
+    return payload
+
+
+def write_bench_artifact(
+    path: Union[str, Path],
+    bench: str,
+    rows: Sequence[Dict[str, object]],
+    **kwargs,
+) -> Dict[str, object]:
+    """Write the unified artifact to ``path``; returns the payload."""
+    payload = bench_artifact(bench, rows, **kwargs)
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    return payload
+
+
+def cell_rows_with_work(cells) -> List[Dict[str, object]]:
+    """Render ``CellResult`` objects as artifact rows with their mean work
+    counters attached under ``"work"`` (kept out of the printable
+    ``row()`` — work counters measure the engine, not the workload)."""
+    rows: List[Dict[str, object]] = []
+    for cell in cells:
+        row = cell.row()
+        if cell.work_means:
+            row["work"] = {k: round(v, 2) for k, v in cell.work_means.items()}
+        rows.append(row)
+    return rows

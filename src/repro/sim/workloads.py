@@ -15,12 +15,21 @@ policy in the paper:
 
 Every generator is seeded and returns :class:`~repro.sim.scheduler.WorkloadItem`
 lists plus the initial structural state the run needs.
+
+For the multiprocess grid runner (:mod:`repro.sim.grid`) the generators are
+additionally wrapped as **registered grid factories** — named entries in
+:data:`GRID_FACTORIES` with the uniform signature
+``fn(seed, **kwargs) -> (items, initial, context_kwargs)``.  A grid cell
+references a factory *by name* plus plain keyword arguments, so the task
+that crosses the process boundary is picklable; the worker constructs the
+workload (and any policy-context kwargs, e.g. the DDAG database graph)
+locally from the seed.
 """
 
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.states import StructuralState
 from ..core.steps import Entity
@@ -29,6 +38,47 @@ from ..graphs.generators import random_rooted_dag, random_subdag_walk
 from ..policies.base import Access, InsertNode, Intent, edge_entity
 from ..policies.ddag import Unlock
 from .scheduler import RestartStrategy, WorkloadItem
+
+#: A registered grid factory: ``fn(seed, **kwargs)`` returning the workload
+#: items, the initial structural state, and the policy-context kwargs the
+#: workload implies (``{}`` for most; ``{"dag": ...}`` for traversals —
+#: policies that take no context kwargs ignore extras).
+GridWorkloadFactory = Callable[
+    ..., Tuple[List[WorkloadItem], StructuralState, dict]
+]
+
+GRID_FACTORIES: Dict[str, GridWorkloadFactory] = {}
+
+
+def register_grid_factory(
+    name: str,
+) -> Callable[[GridWorkloadFactory], GridWorkloadFactory]:
+    """Register a grid factory under ``name`` (decorator).  Names are the
+    pickle-safe handle grid cells carry instead of live callables."""
+
+    def decorate(fn: GridWorkloadFactory) -> GridWorkloadFactory:
+        if name in GRID_FACTORIES:
+            raise ValueError(f"grid factory {name!r} already registered")
+        GRID_FACTORIES[name] = fn
+        return fn
+
+    return decorate
+
+
+def grid_factory(name: str) -> GridWorkloadFactory:
+    """Look up a registered grid factory by name."""
+    try:
+        return GRID_FACTORIES[name]
+    except KeyError:
+        known = ", ".join(sorted(GRID_FACTORIES)) or "(none)"
+        raise KeyError(
+            f"unknown grid workload factory {name!r}; registered: {known}"
+        ) from None
+
+
+def grid_factory_names() -> Tuple[str, ...]:
+    """The registered grid factory names, sorted."""
+    return tuple(sorted(GRID_FACTORIES))
 
 
 def _staggered_start(index: int, arrival_rate: Optional[float]) -> int:
@@ -323,6 +373,74 @@ def deadlock_storm_workload(
             )
         )
     return items, StructuralState(frozenset(entities))
+
+
+# ----------------------------------------------------------------------
+# Registered grid factories (picklable-by-name wrappers of the generators)
+# ----------------------------------------------------------------------
+
+
+@register_grid_factory("stress")
+def _grid_stress(seed: int, **kwargs):
+    items, initial = stress_workload(seed=seed, **kwargs)
+    return items, initial, {}
+
+
+@register_grid_factory("deadlock_storm")
+def _grid_deadlock_storm(seed: int, **kwargs):
+    items, initial = deadlock_storm_workload(seed=seed, **kwargs)
+    return items, initial, {}
+
+
+@register_grid_factory("long_transaction")
+def _grid_long_transaction(seed: int, **kwargs):
+    items, initial = long_transaction_workload(seed=seed, **kwargs)
+    return items, initial, {}
+
+
+@register_grid_factory("random_access")
+def _grid_random_access(seed: int, **kwargs):
+    items, initial = random_access_workload(seed=seed, **kwargs)
+    return items, initial, {}
+
+
+@register_grid_factory("traversal")
+def _grid_traversal(
+    seed: int,
+    nodes: int = 10,
+    edge_prob: float = 0.25,
+    num_txns: int = 6,
+    walk_length: int = 4,
+    arrival_rate: Optional[float] = None,
+):
+    """Traversals over a seed-derived random rooted DAG.  The DAG doubles
+    as the DDAG policy's context (snapshotted, as live runs mutate it);
+    static policies ignore the extra context kwarg."""
+    dag = random_rooted_dag(nodes, edge_prob, seed=seed)
+    items, initial = traversal_workload(
+        dag, num_txns, walk_length, seed=seed, arrival_rate=arrival_rate
+    )
+    return items, initial, {"dag": dag.snapshot()}
+
+
+@register_grid_factory("dynamic_traversal")
+def _grid_dynamic_traversal(
+    seed: int,
+    nodes: int = 10,
+    edge_prob: float = 0.25,
+    num_txns: int = 6,
+    walk_length: int = 4,
+    insert_prob: float = 0.5,
+    arrival_rate: Optional[float] = None,
+):
+    """Dynamic traversals (fresh-leaf inserts) over a seed-derived DAG;
+    see :func:`_grid_traversal` for the context kwarg."""
+    dag = random_rooted_dag(nodes, edge_prob, seed=seed)
+    items, initial = dynamic_traversal_workload(
+        dag, num_txns, walk_length,
+        insert_prob=insert_prob, seed=seed, arrival_rate=arrival_rate,
+    )
+    return items, initial, {"dag": dag.snapshot()}
 
 
 def fig3_dag() -> RootedDag:
