@@ -17,7 +17,12 @@ small hot set, staggered arrivals) through **both** engines and asserts:
 * exact equivalence — identical schedules, metric summaries, deadlock
   victim sequences, and per-transaction records on the same seed;
 * the win — ``classify_checks`` drop ≥ 5× versus the naive rescan at
-  1,000+ transactions (the acceptance bar of the always-fresh graph work).
+  1,000+ transactions (the acceptance bar of the always-fresh graph work);
+* the incremental-detector win — the event engine's certificate/cached-walk
+  cycle detection (:class:`repro.sim.WaitsForGraph`) visits measurably
+  fewer graph nodes per detection than the naive engine's from-scratch
+  DFS, over the *same* detection count and with bit-identical victim
+  sequences (``cycle_visits`` / ``cycle_detections`` work counters).
 
 ``BENCH_SMOKE_SCALE`` (a float in ``(0, 1]``, default 1) shrinks the
 transaction counts for CI smoke runs; below full scale the ratio assertion
@@ -73,12 +78,13 @@ def _run_cell(name, policy_factory, build):
             "ticks": m.ticks,
             "deadlocks": m.deadlocks,
             "classify_checks": m.classify_checks,
+            "cycle_visits": m.cycle_visits,
             "wall_s": round(wall, 3),
         })
     print(format_table(
         rows,
         ["workload", "engine", "txns", "ticks", "deadlocks",
-         "classify_checks", "wall_s"],
+         "classify_checks", "cycle_visits", "wall_s"],
     ))
 
     naive, event = results["naive"][0], results["event"][0]
@@ -111,6 +117,27 @@ def _run_cell(name, policy_factory, build):
         f"{name}: expected >= {floor}x fewer classify checks at "
         f"{num_txns} txns, got {ratio:.1f}x"
     )
+
+    # Incremental cycle detection: same number of detections (the engines
+    # agree tick for tick), never more node visits, and measurably fewer
+    # on the storm — the cached walk skips the untouched chain prefix the
+    # from-scratch DFS re-walks on every no-runnable tick.
+    nm, em = naive.metrics, event.metrics
+    assert nm.cycle_detections == em.cycle_detections, (
+        f"{name}: detection counts diverge"
+    )
+    assert em.cycle_visits <= nm.cycle_visits, (
+        f"{name}: incremental detection visited more nodes "
+        f"({em.cycle_visits} vs {nm.cycle_visits})"
+    )
+    visit_ratio = nm.cycle_visits / max(1, em.cycle_visits)
+    if nm.cycle_detections >= 50:
+        assert visit_ratio >= 1.1, (
+            f"{name}: expected measurably fewer graph-node visits per "
+            f"detection, got {visit_ratio:.2f}x over "
+            f"{nm.cycle_detections} detections"
+        )
+    detections = max(1, nm.cycle_detections)
     return {
         "workload": name,
         "txns": num_txns,
@@ -120,6 +147,12 @@ def _run_cell(name, policy_factory, build):
         "naive_checks": checks["naive"],
         "event_checks": checks["event"],
         "ratio": round(ratio, 2),
+        "cycle_detections": nm.cycle_detections,
+        "naive_cycle_visits": nm.cycle_visits,
+        "event_cycle_visits": em.cycle_visits,
+        "naive_visits_per_detection": round(nm.cycle_visits / detections, 2),
+        "event_visits_per_detection": round(em.cycle_visits / detections, 2),
+        "cycle_visit_ratio": round(visit_ratio, 2),
         "naive_wall_s": round(results["naive"][1], 3),
         "event_wall_s": round(results["event"][1], 3),
     }
@@ -167,10 +200,12 @@ def test_deadlock_storm_stress():
     print(format_table(
         cells,
         ["workload", "txns", "ticks", "deadlocks", "naive_checks",
-         "event_checks", "ratio"],
+         "event_checks", "ratio", "naive_visits_per_detection",
+         "event_visits_per_detection", "cycle_visit_ratio"],
     ))
-    print(f"\nshape: no-runnable ticks no longer rescan the live set; "
-          f"results in {RESULTS_PATH.name}")
+    print(f"\nshape: no-runnable ticks no longer rescan the live set, and "
+          f"detections re-walk only the touched suffix of the waits-for "
+          f"chain; results in {RESULTS_PATH.name}")
 
 
 def test_bench_deadlock_kernel(benchmark):

@@ -44,6 +44,13 @@ def _scaled(n: int, scale: float) -> int:
     return max(50, int(n * scale))
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _preset_stress(scale: float) -> GridSpec:
     """Open-system short-transaction stress: 2PL vs altruistic at 1,200
     transactions (the invalidation bench's altruistic-stress shape)."""
@@ -97,10 +104,33 @@ def _preset_traversal(scale: float) -> GridSpec:
     )
 
 
+def _preset_mega_stress(scale: float) -> GridSpec:
+    """The headroom probe for the layered kernel: 5,000 staggered short
+    transactions over a wide entity space, admitted in arrival-tick
+    batches and served through the sharded lock table (``lock_shards=8``;
+    any shard count is byte-identical, so this doubles as a standing
+    shard-invariance exercise at scale)."""
+    n = _scaled(5000, scale)
+    return GridSpec(
+        policies=(PolicySpec(TwoPhasePolicy),),
+        workloads=(
+            WorkloadSpec("stress", {
+                "num_entities": 8000, "num_txns": n,
+                "arrival_rate": 0.085, "hot_fraction": 0.0,
+            }),
+        ),
+        seeds=(0,),
+        max_ticks=20_000_000,
+        check_serializability=False,
+        lock_shards=8,
+    )
+
+
 PRESETS: Dict[str, Callable[[float], GridSpec]] = {
     "stress": _preset_stress,
     "deadlock": _preset_deadlock,
     "traversal": _preset_traversal,
+    "mega_stress": _preset_mega_stress,
 }
 
 _COLUMNS = [
@@ -139,6 +169,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the per-run tick budget",
     )
     parser.add_argument(
+        "--shards", type=_positive_int, default=None,
+        help="override the lock-table shard count (rows are byte-identical "
+             "at any count; 1 is the single-partition reference)",
+    )
+    parser.add_argument(
         "--out", default=None,
         help="artifact path (default: BENCH_grid_<preset>.json)",
     )
@@ -165,6 +200,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["engine"] = args.engine
     if args.max_ticks is not None:
         overrides["max_ticks"] = args.max_ticks
+    if args.shards is not None:
+        overrides["lock_shards"] = args.shards
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
 
@@ -184,7 +221,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         out, f"grid_{args.preset}",
         cell_rows_with_work(cells),
         scale=args.scale, workers=args.workers, wall_s=wall,
-        extra={"engine": spec.engine, "seeds": list(spec.seeds)},
+        extra={
+            "engine": spec.engine,
+            "seeds": list(spec.seeds),
+            "lock_shards": spec.lock_shards,
+        },
     )
     print(f"artifact: {out}")
     return 0

@@ -1,10 +1,13 @@
 """Discrete-event concurrency simulator: the substitute for the paper's
 companion performance study [CHMS94]."""
 
+from .admission import AdmissionCache
 from .artifacts import bench_artifact, cell_rows_with_work, write_bench_artifact
+from .deadlock import find_cycle, find_cycle_counted, pick_victim, resolve_deadlock
 from .grid import GridSpec, PolicySpec, WorkloadSpec, run_grid
 from .lock_table import LockTable
 from .metrics import Metrics, TxnRecord
+from .waits_for import WaitsForGraph
 from .runner import (
     FAILED_SEEDS_LIMIT,
     CellResult,
@@ -35,6 +38,7 @@ from .workloads import (
 )
 
 __all__ = [
+    "AdmissionCache",
     "CellResult",
     "FAILED_SEEDS_LIMIT",
     "GRID_FACTORIES",
@@ -46,6 +50,7 @@ __all__ = [
     "SimResult",
     "Simulator",
     "TxnRecord",
+    "WaitsForGraph",
     "WorkloadFactory",
     "WorkloadItem",
     "WorkloadSpec",
@@ -59,12 +64,16 @@ __all__ = [
     "dynamic_traversal_workload",
     "fig3_dag",
     "fig3_workload",
+    "find_cycle",
+    "find_cycle_counted",
     "format_table",
     "grid_factory",
     "grid_factory_names",
     "long_transaction_workload",
+    "pick_victim",
     "random_access_workload",
     "register_grid_factory",
+    "resolve_deadlock",
     "run_cell",
     "run_grid",
     "run_seed",

@@ -1,0 +1,400 @@
+"""The admission layer of the scheduler kernel: cached classifications,
+invalidation-channel subscriptions, and dirty-set routing.
+
+The event engine caches each live session's scheduling classification
+(runnable / lock-wait / policy-wait) and re-derives it only when an event
+that can change it occurs.  :class:`AdmissionCache` owns the state that
+decides *who gets re-examined when*:
+
+* ``dirty`` — sessions whose cached classification must be re-derived on
+  the next tick (woken waiters, invalidated watchers, executors, fresh
+  admissions, channel-notification hits);
+* ``dynamic`` — live dynamic sessions that declare no invalidation
+  dependencies: the conservative fallback, re-examined every tick;
+* ``complete`` — non-dynamic sessions whose script drained (commit next
+  tick);
+* ``phase1`` — dependency-declaring sessions due a replanning peek (fresh
+  admission or just executed: the peek may commit or abort them);
+* ``runnable`` — names currently classified runnable (phase 3 picks among
+  these);
+* ``watchers`` — runnable sessions watching their pending lock's entity,
+  so a concurrent acquire invalidates exactly them;
+* the **invalidation-channel subscriptions** (channel → subscribers and
+  the reverse index): sessions that declare
+  ``admission_dependencies()`` are subscribed to the channels whose
+  change can flip their cached verdict, and
+  ``PolicyContext.notify_changed`` routes into the dirty set through
+  :meth:`policy_changed`.
+
+:class:`Classifier` is the "what do they become" half: it re-derives one
+session's cached classification (one iteration of the naive engine's
+Phase-2 loop) against the lock table and the waits-for graph, maintains
+the lazy blocked-tick accounting around cache hits, and keeps blocked
+waiters' waits-for edges fresh across grants and grantability-filtered
+releases without re-classifying them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Hashable,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+)
+
+from ..core.steps import Entity
+from ..policies.base import Admission, PolicySession
+from .lock_table import LockTable
+from .metrics import Metrics, TxnRecord
+from .waits_for import WaitsForGraph
+
+if TYPE_CHECKING:  # pragma: no cover - type-only, avoids an import cycle
+    from .scheduler import WorkloadItem
+
+# Cached classification states of one live session (event engine).
+NEW = "new"
+RUNNABLE = "runnable"
+LOCK_WAIT = "lock-wait"
+POLICY_WAIT = "policy-wait"
+
+
+@dataclass
+class LiveEntry:
+    """One live session's scheduling state (both engines)."""
+
+    item: "WorkloadItem"
+    session: PolicySession
+    record: TxnRecord
+    attempt: int = 1
+    step_count: int = 0
+    #: Admission order; stable across restarts so the commit scan visits
+    #: sessions exactly as the naive engine's insertion-order scan does.
+    seq: int = 0
+    #: Cached classification (event engine).
+    state: str = NEW
+    #: Entity whose pending lock this (runnable) session is watching.
+    watch_entity: Optional[Entity] = None
+    #: Last tick for which blocked-time accounting has been recorded.
+    accrued_to: int = -1
+    #: Classification must evaluate the policy admission() verdict (the
+    #: session is dynamic or overrides admission).
+    needs_admission: bool = False
+    #: The session declares invalidation channels (admission_dependencies
+    #: is not None): it joins the event-driven engine and is re-examined
+    #: on channel notifications instead of every tick.
+    tracks_deps: bool = False
+
+
+class AdmissionCache:
+    """Who-to-re-examine bookkeeping of the event engine (see the module
+    docstring).  Holds references to the run's live table and metrics so
+    routing can filter departed sessions and count wakeups/invalidations.
+    """
+
+    def __init__(self, live: Dict[str, object], metrics: Metrics) -> None:
+        self._live = live
+        self._metrics = metrics
+        self.dirty: Set[str] = set()
+        self.dynamic: Set[str] = set()
+        self.complete: Set[str] = set()
+        self.phase1: Set[str] = set()
+        self.runnable: Set[str] = set()
+        self.watchers: Dict[Entity, Set[str]] = {}
+        #: Invalidation-channel subscriptions: channel -> subscribed names,
+        #: and the reverse index used to re-subscribe/unsubscribe.
+        self.channel_subs: Dict[Hashable, Set[str]] = {}
+        self.session_subs: Dict[str, Tuple[Hashable, ...]] = {}
+
+    # ------------------------------------------------------------------
+    # Registration and teardown
+    # ------------------------------------------------------------------
+
+    def register(
+        self, name: str, *, tracks_deps: bool, dynamic: bool, complete: bool
+    ) -> None:
+        """Route a freshly admitted (or restarted) session into the cache:
+        dependency-declaring sessions get a phase-1 peek plus an initial
+        classification; no-declaration dynamic ones join the every-tick
+        set; finished scripts go straight to ``complete``; everyone else
+        is simply dirty."""
+        if tracks_deps:
+            self.phase1.add(name)
+            self.dirty.add(name)
+        elif dynamic:
+            self.dynamic.add(name)
+        elif complete:
+            self.complete.add(name)
+        else:
+            self.dirty.add(name)
+
+    def forget(self, name: str) -> None:
+        """Drop every piece of routing state for a departed session."""
+        self.dirty.discard(name)
+        self.dynamic.discard(name)
+        self.complete.discard(name)
+        self.phase1.discard(name)
+        self.runnable.discard(name)
+        self.subscribe(name, ())
+
+    # ------------------------------------------------------------------
+    # Invalidation channels
+    # ------------------------------------------------------------------
+
+    def subscribe(self, name: str, channels: Iterable[Hashable]) -> None:
+        """Point the session's subscriptions at ``channels`` (re-read from
+        ``admission_dependencies`` at every classification, since the
+        relevant region moves with the pending step)."""
+        new = tuple(dict.fromkeys(channels))
+        old = self.session_subs.get(name, ())
+        if new == old:
+            return
+        for ch in old:
+            subs = self.channel_subs.get(ch)
+            if subs is not None:
+                subs.discard(name)
+                if not subs:
+                    del self.channel_subs[ch]
+        if new:
+            self.session_subs[name] = new
+            for ch in new:
+                self.channel_subs.setdefault(ch, set()).add(name)
+        else:
+            self.session_subs.pop(name, None)
+
+    def policy_changed(self, channels: Tuple[Hashable, ...]) -> None:
+        """Context-emitted change notification: mark every subscriber of a
+        changed channel dirty, so the next tick re-derives exactly the
+        cached verdicts this mutation can flip."""
+        m = self._metrics
+        for ch in channels:
+            subs = self.channel_subs.get(ch)
+            if not subs:
+                continue
+            for n in subs:
+                if n in self._live and n not in self.dirty:
+                    self.dirty.add(n)
+                    m.invalidations += 1
+
+    # ------------------------------------------------------------------
+    # Dirty-set routing
+    # ------------------------------------------------------------------
+
+    def wake(self, names: Iterable[str]) -> None:
+        """A release returned these waiters in its wake-up set."""
+        for n in names:
+            if n in self._live and n not in self.dirty:
+                self.dirty.add(n)
+                self._metrics.wakeups += 1
+
+    def mark_dirty(
+        self, names: Iterable[str], exclude: Optional[str] = None
+    ) -> None:
+        for n in names:
+            if n != exclude and n in self._live:
+                self.dirty.add(n)
+
+    # ------------------------------------------------------------------
+    # Watchers
+    # ------------------------------------------------------------------
+
+    def watch(self, entity: Entity, name: str) -> None:
+        """Register a runnable session as watching its pending lock's
+        entity (a concurrent acquire must invalidate it)."""
+        self.watchers.setdefault(entity, set()).add(name)
+
+    def unwatch(self, entity: Entity, name: str) -> None:
+        watching = self.watchers.get(entity)
+        if watching is not None:
+            watching.discard(name)
+            if not watching:
+                del self.watchers[entity]
+
+    # ------------------------------------------------------------------
+    # Tick queries
+    # ------------------------------------------------------------------
+
+    def phase1_candidates(self) -> List[str]:
+        """Sessions phase 1 must peek this tick (drains ``phase1``); the
+        caller sorts by admission order."""
+        live = self._live
+        candidates = [
+            n for n in self.complete | self.dynamic | self.phase1 if n in live
+        ]
+        self.phase1.clear()
+        return candidates
+
+    def take_check_set(self) -> List[str]:
+        """Sessions phase 2 must re-classify this tick, sorted (drains
+        ``dirty``; every-tick dynamic sessions are always included)."""
+        live = self._live
+        check = [
+            n
+            for n in self.dirty | self.dynamic
+            if n in live and n not in self.complete
+        ]
+        self.dirty.clear()
+        return sorted(check)
+
+
+class Classifier:
+    """Re-derives cached classifications against the sibling layers (lock
+    table, waits-for graph) and keeps their bookkeeping — waiter queues,
+    waits-for edges, watchers, lazy blocked-tick accounting — consistent
+    with every transition (see the module docstring)."""
+
+    def __init__(
+        self,
+        live: Dict[str, LiveEntry],
+        metrics: Metrics,
+        table: LockTable,
+        graph: WaitsForGraph,
+        cache: AdmissionCache,
+    ) -> None:
+        self.live = live
+        self.metrics = metrics
+        self.table = table
+        self.graph = graph
+        self.cache = cache
+
+    # ------------------------------------------------------------------
+    # Lazy blocked-tick accounting
+    # ------------------------------------------------------------------
+
+    def accrue(self, entry: LiveEntry, through: int) -> None:
+        """Catch a blocked session's lazy blocked-tick accounting up
+        through tick ``through`` (it sat in the same blocked state the
+        whole time — anything that could have changed it would have
+        re-examined it sooner)."""
+        if entry.state == LOCK_WAIT:
+            lock_wait = True
+        elif entry.state == POLICY_WAIT:
+            lock_wait = False
+        else:
+            return
+        skipped = through - entry.accrued_to
+        if skipped > 0:
+            self.metrics.accrue_blocked(entry.record, lock_wait, skipped)
+            entry.accrued_to = through
+
+    # ------------------------------------------------------------------
+    # Classification transitions
+    # ------------------------------------------------------------------
+
+    def clear(self, entry: LiveEntry) -> None:
+        """Tear down the session's cached classification: runnable flag,
+        outgoing waits-for edges, waiter-queue registration, watcher."""
+        name = entry.item.name
+        self.cache.runnable.discard(name)
+        self.graph.drop_edges(name)
+        if entry.state == LOCK_WAIT:
+            self.table.remove_waiter(name)
+        if entry.watch_entity is not None:
+            self.cache.unwatch(entry.watch_entity, name)
+            entry.watch_entity = None
+        entry.state = NEW
+
+    def classify(
+        self, entry: LiveEntry, aborts: List[Tuple[LiveEntry, str]]
+    ) -> None:
+        """Re-derive ``entry``'s scheduling state: one iteration of the
+        naive Phase-2 loop, plus lazy accounting for the ticks skipped
+        since the previous classification (during which the session
+        necessarily sat in the same blocked state — nothing that could
+        have changed it happened, or it would have been re-examined
+        sooner)."""
+        m = self.metrics
+        name = entry.item.name
+        now = m.ticks
+        self.accrue(entry, now - 1)
+        self.clear(entry)
+        m.classify_checks += 1
+        step = entry.session.peek()
+        assert step is not None
+        if entry.tracks_deps:
+            deps = entry.session.admission_dependencies()
+            self.cache.subscribe(name, deps if deps is not None else ())
+        if entry.needs_admission:
+            m.admission_checks += 1
+            verdict = entry.session.admission()
+            if verdict.verdict is Admission.ABORT:
+                aborts.append((entry, verdict.reason or "policy violation"))
+                return
+            if verdict.verdict is Admission.WAIT:
+                m.accrue_blocked(entry.record, False, 1)
+                entry.state = POLICY_WAIT
+                entry.accrued_to = now
+                self.graph.set_edges(
+                    name, {w for w in verdict.waiting_on if w in self.live}
+                )
+                return
+        mode = step.lock_mode
+        if step.is_lock and mode is not None:
+            m.blocker_queries += 1
+            blockers = self.table.blockers(name, step.entity, mode)
+            if blockers:
+                m.accrue_blocked(entry.record, True, 1)
+                entry.state = LOCK_WAIT
+                entry.accrued_to = now
+                self.table.add_waiter(name, step.entity, mode)
+                self.graph.set_edges(
+                    name, {b for b in blockers if b in self.live}
+                )
+                return
+            # Runnable with a pending lock: watch the entity so a concurrent
+            # acquire invalidates this classification.
+            self.cache.watch(step.entity, name)
+            entry.watch_entity = step.entity
+        entry.state = RUNNABLE
+        self.cache.runnable.add(name)
+
+    # ------------------------------------------------------------------
+    # Lock-wait edge maintenance (no re-classification)
+    # ------------------------------------------------------------------
+
+    def refresh_lock_edges(self, releaser: str, entity: Entity) -> None:
+        """A release by ``releaser`` may have dropped it from ``entity``'s
+        conflicting holders without unblocking the remaining waiters (the
+        wake-up set is grantability-filtered).  Their cached waits-for
+        edges must not keep pointing at the releaser — the maintained
+        graph would diverge from the naive engine's fresh rebuild at the
+        next cycle search — so re-derive each still-blocked waiter's edge
+        set from the table, without re-classifying the session."""
+        m = self.metrics
+        for waiter, wanted in self.table.waiter_modes(entity):
+            if waiter == releaser or waiter in self.cache.dirty:
+                continue  # dirty waiters are fully re-classified anyway
+            entry = self.live.get(waiter)
+            if entry is None or entry.state != LOCK_WAIT:
+                continue
+            m.blocker_queries += 1
+            self.graph.set_edges(
+                waiter,
+                {
+                    b
+                    for b in self.table.blockers(waiter, entity, wanted)
+                    if b in self.live
+                },
+            )
+
+    def extend_lock_edges(self, holder: str, entity: Entity) -> None:
+        """``holder`` just acquired a grant on ``entity``: a fresh grant
+        cannot unblock a queued waiter, only extend its blocker set, so the
+        new edge is added in place — the acquire-side twin of
+        :meth:`refresh_lock_edges` (re-classifying every waiter here was
+        O(waiters) full classifications per acquire on a hot entity)."""
+        effective = self.table.mode_held(holder, entity)
+        assert effective is not None
+        for waiter, wanted in self.table.waiter_modes(entity):
+            if waiter == holder or waiter in self.cache.dirty:
+                continue  # dirty waiters are fully re-classified anyway
+            entry = self.live.get(waiter)
+            if entry is None or entry.state != LOCK_WAIT:
+                continue
+            if wanted.conflicts_with(effective):
+                self.graph.add_edge_if_tracked(waiter, holder)

@@ -88,6 +88,9 @@ class GridSpec:
     engine: str = "event"
     max_ticks: int = 200_000
     check_serializability: bool = True
+    #: Lock-table shard count for every seed-run (any count produces
+    #: byte-identical rows; 1 is the single-partition reference).
+    lock_shards: int = 1
     pairs: Optional[Tuple[Tuple[PolicySpec, WorkloadSpec], ...]] = None
 
     def cells(self) -> List[Tuple[PolicySpec, WorkloadSpec]]:
@@ -109,6 +112,7 @@ class _SeedTask:
     engine: str
     max_ticks: int
     check_serializability: bool
+    lock_shards: int = 1
 
 
 def _run_task(task: _SeedTask) -> Tuple[int, int, SeedOutcome]:
@@ -121,6 +125,7 @@ def _run_task(task: _SeedTask) -> Tuple[int, int, SeedOutcome]:
         max_ticks=task.max_ticks,
         check_serializability=task.check_serializability,
         engine=task.engine,
+        lock_shards=task.lock_shards,
     )
     return task.cell, task.slot, outcome
 
@@ -178,6 +183,7 @@ def run_grid(
             cell=ci, slot=si, policy=p, workload=w, seed=seed,
             engine=spec.engine, max_ticks=spec.max_ticks,
             check_serializability=spec.check_serializability,
+            lock_shards=spec.lock_shards,
         )
         for ci, (p, w) in enumerate(cells)
         for si, seed in enumerate(seeds)

@@ -23,6 +23,16 @@ Two facilities support the event-driven scheduler:
   pure wasted re-classification.  :meth:`waiter_modes` exposes the queued
   requests so the scheduler can maintain those waiters' waits-for edges
   without re-classifying them.
+
+**Sharding.**  The table partitions its per-entity state (holder maps and
+wait queues) across ``shards`` entity-hash shards behind this unchanged
+public API.  Every query and mutation is per-entity and therefore
+shard-local; the only cross-entity walks (``release_all`` and its wake
+variant) iterate the *per-transaction* held index, which stays global and
+sorted — so any shard count produces byte-identical grants, wake-up sets,
+and release orders, and ``shards=1`` is exactly the historical single-dict
+table.  The partitioning is what lets a future parallel scheduler hand
+each shard to its own worker without touching callers.
 """
 
 from __future__ import annotations
@@ -33,17 +43,37 @@ from ..core.operations import LockMode
 from ..core.steps import Entity
 
 
-class LockTable:
-    """Entity -> {transaction: modes} with conflict queries and wait queues."""
+class _Shard:
+    """Per-entity state of one partition: holder maps and wait queues."""
+
+    __slots__ = ("holders", "waiters")
 
     def __init__(self) -> None:
-        self._holders: Dict[Entity, Dict[str, Set[LockMode]]] = {}
-        #: Per-transaction index of held entities (O(footprint) release_all).
+        #: Entity -> {transaction: set of granted modes}.
+        self.holders: Dict[Entity, Dict[str, Set[LockMode]]] = {}
+        #: Per-entity wait queue: waiter -> requested mode (arrival order).
+        self.waiters: Dict[Entity, Dict[str, LockMode]] = {}
+
+
+class LockTable:
+    """Entity -> {transaction: modes} with conflict queries and wait
+    queues, partitioned over ``shards`` entity-hash shards (``shards=1``,
+    the default, is the single-partition reference)."""
+
+    def __init__(self, shards: int = 1) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+        self._parts = [_Shard() for _ in range(shards)]
+        #: Per-transaction index of held entities (O(footprint)
+        #: release_all); global — it orders the cross-entity walks.
         self._held: Dict[str, Set[Entity]] = {}
-        #: Per-entity wait queue: waiter -> requested mode (insertion order).
-        self._waiters: Dict[Entity, Dict[str, LockMode]] = {}
-        #: Reverse index: waiter -> entity it waits on.
+        #: Reverse waiter index: waiter -> entity it waits on (global; a
+        #: transaction waits on at most one entity at a time).
         self._waiting_on: Dict[str, Entity] = {}
+
+    def _part(self, entity: Entity) -> _Shard:
+        return self._parts[hash(entity) % self.shards]
 
     # ------------------------------------------------------------------
     # Holder queries
@@ -59,22 +89,22 @@ class LockTable:
         """Transactions holding ``entity``, mapped to their strongest mode."""
         return {
             txn: self._effective(modes)
-            for txn, modes in self._holders.get(entity, {}).items()
+            for txn, modes in self._part(entity).holders.get(entity, {}).items()
         }
 
     def mode_held(self, txn: str, entity: Entity) -> Optional[LockMode]:
-        modes = self._holders.get(entity, {}).get(txn)
+        modes = self._part(entity).holders.get(entity, {}).get(txn)
         return self._effective(modes) if modes else None
 
     def modes_held(self, txn: str, entity: Entity) -> FrozenSet[LockMode]:
         """Every mode ``txn`` holds on ``entity`` (both, after an upgrade)."""
-        return frozenset(self._holders.get(entity, {}).get(txn, ()))
+        return frozenset(self._part(entity).holders.get(entity, {}).get(txn, ()))
 
     def blockers(self, txn: str, entity: Entity, mode: LockMode) -> List[str]:
         """Other transactions holding conflicting modes on ``entity``."""
         return [
             other
-            for other, modes in self._holders.get(entity, {}).items()
+            for other, modes in self._part(entity).holders.get(entity, {}).items()
             if other != txn and mode.conflicts_with(self._effective(modes))
         ]
 
@@ -92,7 +122,9 @@ class LockTable:
             raise RuntimeError(
                 f"{txn} acquires {mode} on {entity!r} despite holders {blockers}"
             )
-        self._holders.setdefault(entity, {}).setdefault(txn, set()).add(mode)
+        self._part(entity).holders.setdefault(entity, {}).setdefault(
+            txn, set()
+        ).add(mode)
         self._held.setdefault(txn, set()).add(entity)
 
     def _drop(self, txn: str, entity: Entity, mode: LockMode) -> bool:
@@ -102,7 +134,7 @@ class LockTable:
         waiter could be granted on, so it must not produce wake-ups.  The
         weaken rule itself lives in :meth:`would_weaken`."""
         weakened = self.would_weaken(txn, entity, mode)
-        current = self._holders.get(entity)
+        current = self._part(entity).holders.get(entity)
         modes = current.get(txn) if current is not None else None
         if modes is None or mode not in modes:
             return False
@@ -115,7 +147,7 @@ class LockTable:
                 if not held:
                     del self._held[txn]
             if not current:
-                del self._holders[entity]
+                del self._part(entity).holders[entity]
         return weakened
 
     def would_weaken(self, txn: str, entity: Entity, mode: LockMode) -> bool:
@@ -124,7 +156,7 @@ class LockTable:
         returns this predicate after mutating, and the scheduler queries it
         up front to skip waits-for edge maintenance for releases that
         change nothing a waiter could be granted on."""
-        modes = self._holders.get(entity, {}).get(txn)
+        modes = self._part(entity).holders.get(entity, {}).get(txn)
         if not modes or mode not in modes:
             return False
         if len(modes) == 1:
@@ -139,7 +171,7 @@ class LockTable:
         if self._drop(txn, entity, mode):
             return [
                 w
-                for w, wanted in self._waiters.get(entity, {}).items()
+                for w, wanted in self._part(entity).waiters.get(entity, {}).items()
                 if w != txn and self.grantable(w, entity, wanted)
             ]
         return []
@@ -152,10 +184,11 @@ class LockTable:
         self.remove_waiter(txn)  # a departing txn must not stay queued
         released: List[Tuple[Entity, LockMode]] = []
         for entity in sorted(self._held.get(txn, ()), key=repr):
-            modes = self._holders[entity].pop(txn)
+            holders = self._part(entity).holders
+            modes = holders[entity].pop(txn)
             released.append((entity, self._effective(modes)))
-            if not self._holders[entity]:
-                del self._holders[entity]
+            if not holders[entity]:
+                del holders[entity]
         self._held.pop(txn, None)
         return released
 
@@ -166,7 +199,7 @@ class LockTable:
         woken: List[str] = []
         seen: Set[str] = set()
         for entity, _ in released:
-            for w, wanted in self._waiters.get(entity, {}).items():
+            for w, wanted in self._part(entity).waiters.get(entity, {}).items():
                 if w != txn and w not in seen and self.grantable(w, entity, wanted):
                     seen.add(w)
                     woken.append(w)
@@ -183,22 +216,23 @@ class LockTable:
         prev = self._waiting_on.get(txn)
         if prev is not None and prev != entity:
             self.remove_waiter(txn)
-        self._waiters.setdefault(entity, {})[txn] = mode
+        self._part(entity).waiters.setdefault(entity, {})[txn] = mode
         self._waiting_on[txn] = entity
 
     def remove_waiter(self, txn: str) -> None:
         entity = self._waiting_on.pop(txn, None)
         if entity is None:
             return
-        queue = self._waiters.get(entity)
+        waiters = self._part(entity).waiters
+        queue = waiters.get(entity)
         if queue is not None:
             queue.pop(txn, None)
             if not queue:
-                del self._waiters[entity]
+                del waiters[entity]
 
     def waiters_of(self, entity: Entity) -> List[str]:
         """Waiters queued on ``entity``, in arrival order."""
-        return list(self._waiters.get(entity, {}))
+        return list(self._part(entity).waiters.get(entity, {}))
 
     def waiter_modes(self, entity: Entity) -> List[Tuple[str, LockMode]]:
         """Waiters queued on ``entity`` with their requested modes, in
@@ -206,7 +240,7 @@ class LockTable:
         release whose wake-up set was grantability-filtered, the still
         blocked waiters' waits-for edges are re-derived from these requests
         instead of re-classifying the sessions."""
-        return list(self._waiters.get(entity, {}).items())
+        return list(self._part(entity).waiters.get(entity, {}).items())
 
     def waiting_entity(self, txn: str) -> Optional[Entity]:
         return self._waiting_on.get(txn)
@@ -217,9 +251,11 @@ class LockTable:
 
     def held_by(self, txn: str) -> Dict[Entity, LockMode]:
         return {
-            entity: self._effective(self._holders[entity][txn])
+            entity: self._effective(self._part(entity).holders[entity][txn])
             for entity in sorted(self._held.get(txn, ()), key=repr)
         }
 
     def locked_entities(self) -> FrozenSet[Entity]:
-        return frozenset(self._holders)
+        return frozenset(
+            entity for part in self._parts for entity in part.holders
+        )

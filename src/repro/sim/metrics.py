@@ -69,6 +69,13 @@ class Metrics:
     #: their declared invalidation channels (the policy-aware protocol that
     #: lets dynamic sessions skip the every-tick re-check).
     invalidations: int = 0
+    #: Waits-for cycle detections run (no-runnable ticks).
+    cycle_detections: int = 0
+    #: Graph nodes visited (DFS pushes) across all cycle detections — the
+    #: naive engine re-walks the whole graph per detection; the event
+    #: engine's incremental detector re-walks only the possibly-cyclic
+    #: region, so this is the counter the deadlock bench compares.
+    cycle_visits: int = 0
 
     def accrue_blocked(self, record: TxnRecord, lock_wait: bool, ticks: int) -> None:
         """Credit ``ticks`` blocked-tick observations to ``record`` in one
@@ -135,5 +142,12 @@ class Metrics:
             "invalidations": float(self.invalidations),
             "classify_per_tick": (
                 self.classify_checks / self.ticks if self.ticks else 0.0
+            ),
+            "cycle_detections": float(self.cycle_detections),
+            "cycle_visits": float(self.cycle_visits),
+            "cycle_visits_per_detection": (
+                self.cycle_visits / self.cycle_detections
+                if self.cycle_detections
+                else 0.0
             ),
         }

@@ -126,12 +126,14 @@ def run_seed(
     max_ticks: int = 200_000,
     check_serializability: bool = True,
     engine: str = "event",
+    lock_shards: int = 1,
 ) -> SeedOutcome:
     """Run one seeded instance of a cell and reduce it to a
     :class:`SeedOutcome` (the unit of work the grid runner fans out)."""
     sim = Simulator(
         policy, seed=seed, max_ticks=max_ticks,
         context_kwargs=context_kwargs or {}, engine=engine,
+        lock_shards=lock_shards,
     )
     try:
         result = sim.run(items, initial)
@@ -206,6 +208,7 @@ def run_cell(
     max_ticks: int = 200_000,
     check_serializability: bool = True,
     engine: str = "event",
+    lock_shards: int = 1,
 ) -> CellResult:
     """Run one policy over several seeded instances of a workload, serially
     in this process.
@@ -222,6 +225,7 @@ def run_cell(
             policy, items, initial, seed,
             context_kwargs=kwargs, max_ticks=max_ticks,
             check_serializability=check_serializability, engine=engine,
+            lock_shards=lock_shards,
         ))
     return aggregate_outcomes(
         policy.name, workload_name, outcomes, check_serializability

@@ -1,12 +1,7 @@
-"""The concurrency simulator: executes transaction intents under a locking
-policy and records the resulting schedule.
+"""The concurrency simulator's event loop: executes transaction intents
+under a locking policy and records the resulting schedule.
 
-One *tick* executes one step of one randomly chosen runnable session, which
-yields fine-grained interleavings — the right granularity for exploring the
-schedule space of the safety property tests and for the performance shapes
-of the benchmark harness (blocking and concurrency differences between
-policies show up directly in tick counts).
-
+One *tick* executes one step of one randomly chosen runnable session.
 Scheduling semantics per tick (identical for both engines):
 
 1. commit sessions that have no pending step;
@@ -17,53 +12,22 @@ Scheduling semantics per tick (identical for both engines):
    policy waits) and abort a victim, else the run has livelocked (an error);
 4. execute one step of one runnable session (uniformly at random, seeded).
 
-Two engines implement these semantics:
+Two engines implement these semantics: ``engine="naive"`` re-classifies
+every live session from scratch each tick (:mod:`repro.sim.reference`, the
+executable specification) and ``engine="event"`` (default) caches
+classifications and invalidates them only by the events that can change
+them.  This module is the **event-loop layer** of a layered kernel; the
+sibling layers — :mod:`repro.sim.admission` (classification cache,
+invalidation channels, classifier), :mod:`repro.sim.waits_for`
+(always-fresh graph, incremental cycle detection),
+:mod:`repro.sim.deadlock` (oracle detector, victim costing),
+:mod:`repro.sim.lock_table` (sharded holder maps and wait queues), and
+:mod:`repro.sim.event_log` (O(own events) abort erasure) — are documented
+in docs/ARCHITECTURE.md along with the invalidation-channel protocol.
 
-* ``engine="naive"`` — the reference implementation: re-classify every live
-  session, re-query the lock table and rebuild the waits-for graph from
-  scratch on every tick.  O(live × footprint) per tick; kept as the
-  executable specification the event-driven engine is tested against.
-* ``engine="event"`` (default) — the event-driven engine: classifications
-  are cached and invalidated only by the events that can change them.  A
-  blocked session registers in the lock table's per-entity wait queue and is
-  re-examined only when a release/commit/abort returns it in a wake-up set
-  (grantability-filtered: a waiter that still conflicts with the remaining
-  holders stays asleep); a runnable session watching a lock is re-examined
-  only when another session acquires that entity.
-
-  The waits-for graph is **always fresh**: edges are added when a session
-  blocks, re-derived when a release leaves a waiter blocked but changes its
-  blocker set, and a reverse index (blocker → waiters) prunes a departing
-  blocker's inbound edges eagerly at commit/abort time.  A no-runnable tick
-  therefore runs cycle detection directly on the maintained graph — no
-  re-validation of cached classifications, which used to make every
-  deadlock-path tick O(live).  Blocked-tick accounting accrues on demand —
-  at re-classification, when a blocker departs, and for cycle members at
-  victim-pick time — so both engines produce identical schedules *and*
-  identical metric summaries for the same seed.
-
-Sessions whose policy logic consults *shared* mutable state
-(``PolicySession.dynamic`` or an overridden ``admission``) join the
-event-driven engine through the **policy-aware invalidation protocol**:
-such a session declares, via ``PolicySession.admission_dependencies()``,
-the invalidation channels whose change can flip its cached verdict (for
-DDAG rule L5, the pending node's existence/in-edges; for altruistic AL2,
-the wake state of the items it has locked or wants next).  Policy code
-reports mutations through ``PolicyContext.notify_changed``, and the
-scheduler — which subscribed each cached classification to its declared
-channels — routes the notification into the dirty set, re-examining
-exactly the sessions the change can affect.  A dynamic session that
-declares nothing (``admission_dependencies() is None``, the default) keeps
-the conservative behaviour: it is re-examined every tick, since e.g. an
-arbitrary custom ``admission`` consulting "the present state of G" cannot
-be cached blindly.
-
-Aborted transactions release their locks, their recorded events are erased
-(no recovery theory in the paper — an aborted attempt "never happened"; a
-per-transaction event index makes the erasure O(own events) rather than a
-rebuild of the whole log), and the transaction restarts with an intent
-script recomputed by the workload's restart strategy (by default, the same
-intents).
+Aborted transactions release their locks, their recorded events are
+erased, and the transaction restarts with an intent script recomputed by
+the workload's restart strategy (by default, the same intents).
 """
 
 from __future__ import annotations
@@ -71,31 +35,29 @@ from __future__ import annotations
 import random
 from collections import deque
 from dataclasses import dataclass
-from typing import (
-    Callable,
-    Deque,
-    Dict,
-    Hashable,
-    Iterable,
-    List,
-    Optional,
-    Sequence,
-    Set,
-    Tuple,
-)
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from ..core.operations import LockMode
 from ..core.schedules import Event, Schedule
 from ..core.states import StructuralState
-from ..core.steps import Entity, Step
-from ..core.transactions import Transaction
 from ..exceptions import PolicyViolation, SimulationError
-from ..policies.base import Admission, Intent, LockingPolicy, PolicyContext, PolicySession
+from ..policies.base import Intent, LockingPolicy, PolicyContext, PolicySession
+from .admission import AdmissionCache, Classifier, LiveEntry
+from .deadlock import (  # _find_cycle re-exported for tests/oracle use
+    find_cycle as _find_cycle,
+    pick_victim,
+    resolve_deadlock,
+)
+from .event_log import EventLog, assemble as _assemble, truncated as _truncated
 from .lock_table import LockTable
 from .metrics import Metrics, TxnRecord
+from .reference import naive_tick
+from .waits_for import WaitsForGraph
 
 #: Recompute the intent script after an abort: (name, attempt, context) -> intents.
 RestartStrategy = Callable[[str, int, PolicyContext], Optional[Sequence[Intent]]]
+
+#: Legacy alias: the live-session record moved to the admission layer.
+_Live = LiveEntry
 
 
 @dataclass
@@ -131,44 +93,14 @@ class SimResult:
         return not self.aborted
 
 
-# Cached classification states of one live session (event engine).
-_NEW = "new"
-_RUNNABLE = "runnable"
-_LOCK_WAIT = "lock-wait"
-_POLICY_WAIT = "policy-wait"
-
-
-@dataclass
-class _Live:
-    item: WorkloadItem
-    session: PolicySession
-    record: TxnRecord
-    attempt: int = 1
-    step_count: int = 0
-    #: Admission order; stable across restarts so the commit scan visits
-    #: sessions exactly as the naive engine's insertion-order scan does.
-    seq: int = 0
-    #: Cached classification (event engine).
-    state: str = _NEW
-    #: Entity whose pending lock this (runnable) session is watching.
-    watch_entity: Optional[Entity] = None
-    #: Last tick for which blocked-time accounting has been recorded.
-    accrued_to: int = -1
-    #: Classification must evaluate the policy admission() verdict (the
-    #: session is dynamic or overrides admission).
-    needs_admission: bool = False
-    #: The session declares invalidation channels (admission_dependencies
-    #: is not None): it joins the event-driven engine and is re-examined
-    #: on channel notifications instead of every tick.
-    tracks_deps: bool = False
-
-
 class Simulator:
     """Run a workload under a policy; see the module docstring.
 
     ``engine`` selects the scheduling implementation: ``"event"`` (the
     default event-driven engine) or ``"naive"`` (the per-tick rescan kept as
     the reference both engines' equivalence is asserted against).
+    ``lock_shards`` partitions the lock table (any count produces identical
+    runs; ``1`` is the single-partition reference).
     """
 
     ENGINES = ("event", "naive")
@@ -181,6 +113,7 @@ class Simulator:
         max_restarts: int = 10,
         context_kwargs: Optional[dict] = None,
         engine: str = "event",
+        lock_shards: int = 1,
     ):
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {self.ENGINES}")
@@ -190,6 +123,7 @@ class Simulator:
         self.max_restarts = max_restarts
         self.context_kwargs = dict(context_kwargs or {})
         self.engine = engine
+        self.lock_shards = lock_shards
 
     # ------------------------------------------------------------------
 
@@ -215,7 +149,9 @@ class Simulator:
 
 
 class _Run:
-    """State and helpers of one simulation run (both engines)."""
+    """State and helpers of one simulation run (both engines): composes
+    the kernel layers and owns transaction lifecycle (admission, commit,
+    abort/restart) plus the per-tick loop."""
 
     def __init__(self, sim: Simulator, workload: Sequence[WorkloadItem]):
         self.rng = sim.rng
@@ -224,49 +160,39 @@ class _Run:
         self.event_engine = sim.engine == "event"
         self.context = sim.policy.create_context(**sim.context_kwargs)
         self.metrics = Metrics()
-        self.table = LockTable()
-        self.events: List[Optional[Event]] = []
-        #: Per-transaction index into ``events`` (positions of the txn's
-        #: recorded events), so an abort erases O(own events), not O(log).
-        self.events_by_txn: Dict[str, List[int]] = {}
-        self.live: Dict[str, _Live] = {}
+        self.table = LockTable(shards=sim.lock_shards)
+        self.graph = WaitsForGraph()
+        self.live: Dict[str, LiveEntry] = {}
+        self.cache = AdmissionCache(self.live, self.metrics)
+        self.classifier = Classifier(
+            self.live, self.metrics, self.table, self.graph, self.cache
+        )
+        self.log = EventLog()
         self.committed: List[str] = []
         self.dropped: List[str] = []
-        #: Not-yet-admitted items, arrival order; a deque so large staggered
-        #: workloads admit in O(n) total instead of O(n²) list.pop(0).
-        self.pending: Deque[WorkloadItem] = deque(
-            sorted(workload, key=lambda it: (it.start_tick, it.name))
-        )
+        #: Not-yet-admitted items, batched by arrival tick (ascending) and
+        #: ordered by name within a batch.  Admission pops whole batches —
+        #: O(batch) per arrival tick and a single integer compare on every
+        #: other tick, instead of per-item deque churn.
+        self.pending: Deque[Tuple[int, List[WorkloadItem]]] = deque()
+        for item in sorted(workload, key=lambda it: (it.start_tick, it.name)):
+            if self.pending and self.pending[-1][0] == item.start_tick:
+                self.pending[-1][1].append(item)
+            else:
+                self.pending.append((item.start_tick, [item]))
+        #: Items still awaiting admission (the batches' total size).
+        self.pending_items = len(workload)
         self._seq = 0
-        # ---- event-engine state ----------------------------------------
-        #: Sessions whose cached classification must be re-derived.
-        self.dirty: Set[str] = set()
-        #: Live dynamic sessions declaring no invalidation dependencies
-        #: (re-examined every tick — the conservative fallback).
-        self.dynamic: Set[str] = set()
-        #: Non-dynamic sessions whose pending step is None (commit next tick).
-        self.complete: Set[str] = set()
-        #: Dependency-declaring sessions due a phase-1 peek (fresh admission
-        #: or just executed: their replanning peek may commit or abort).
-        self.phase1: Set[str] = set()
-        #: Names currently classified runnable.
-        self.runnable: Set[str] = set()
-        #: Incremental waits-for graph: blocked session -> blockers.
-        self.waits_for: Dict[str, Set[str]] = {}
-        #: Reverse index of ``waits_for``: blocker -> waiters with an edge
-        #: to it, kept exactly in sync so a departing blocker's inbound
-        #: edges are pruned eagerly instead of lingering until the waiters'
-        #: next re-classification.  This is what keeps the graph fresh
-        #: enough for cycle detection to run on it directly.
-        self.blocked_by: Dict[str, Set[str]] = {}
-        #: Runnable sessions watching their pending lock's entity.
-        self.watchers: Dict[Entity, Set[str]] = {}
-        #: Invalidation-channel subscriptions: channel -> subscribed names,
-        #: and the reverse index used to re-subscribe/unsubscribe.
-        self.channel_subs: Dict[Hashable, Set[str]] = {}
-        self.session_subs: Dict[str, Tuple[Hashable, ...]] = {}
         if self.event_engine:
-            self.context.set_change_listener(self._policy_changed)
+            self.context.set_change_listener(self.cache.policy_changed)
+
+    # -- legacy views (kept for tests and callers of the old layout) ----
+
+    waits_for = property(lambda self: self.graph.waits_for)
+    blocked_by = property(lambda self: self.graph.blocked_by)
+    watchers = property(lambda self: self.cache.watchers)
+    events = property(lambda self: self.log.events)
+    events_by_txn = property(lambda self: self.log.by_txn)
 
     # ------------------------------------------------------------------
     # Main loop (shared tick skeleton)
@@ -275,30 +201,29 @@ class _Run:
     def execute(self) -> None:
         m = self.metrics
         self.admit_arrivals()
-        tick = self._event_tick if self.event_engine else self._naive_tick
+        tick = (
+            self._event_tick if self.event_engine else lambda: naive_tick(self)
+        )
         while self.live or self.pending:
             if not self.live and self.pending:
                 # Idle until the next arrival: jump to the tick *before* it
-                # so the increment below lands exactly on start_tick (the
-                # historical jump-to-start_tick admitted at start_tick + 1).
-                # Clamped to the cap — a far-future arrival used to jump
-                # the clock straight past the max_ticks guard below.
+                # so the increment below lands exactly on start_tick,
+                # clamped so a far-future arrival cannot jump the clock
+                # straight past the max_ticks guard below.
                 m.ticks = min(
-                    max(m.ticks, self.pending[0].start_tick - 1),
+                    max(m.ticks, self.pending[0][0] - 1),
                     self.max_ticks,
                 )
             if m.ticks >= self.max_ticks:
                 raise SimulationError(
                     f"exceeded {self.max_ticks} ticks with "
                     f"{_truncated(sorted(self.live))} still active and "
-                    f"{len(self.pending)} pending"
+                    f"{self.pending_items} pending"
                 )
             m.ticks += 1
             self.admit_arrivals()
             # Accrued *after* admissions: a transaction admitted at tick t
-            # can execute at tick t, so it belongs in tick t's concurrency
-            # integral (it used to be invisible until t + 1, undercounting
-            # mean_active on staggered arrivals).
+            # can execute at tick t, so it belongs in tick t's integral.
             m.active_integral += len(self.live)
             if not self.live:
                 continue
@@ -310,16 +235,18 @@ class _Run:
 
     def admit_arrivals(self) -> None:
         m = self.metrics
-        while self.pending and self.pending[0].start_tick <= m.ticks:
-            item = self.pending.popleft()
-            session = self.context.begin(item.name, item.intents)
-            record = TxnRecord(item.name, start_tick=m.ticks)
-            m.records[item.name] = record
-            entry = _Live(item, session, record, seq=self._seq)
-            self._seq += 1
-            self._register(entry)
+        while self.pending and self.pending[0][0] <= m.ticks:
+            _, batch = self.pending.popleft()
+            self.pending_items -= len(batch)
+            for item in batch:
+                session = self.context.begin(item.name, item.intents)
+                record = TxnRecord(item.name, start_tick=m.ticks)
+                m.records[item.name] = record
+                entry = LiveEntry(item, session, record, seq=self._seq)
+                self._seq += 1
+                self._register(entry)
 
-    def _register(self, entry: _Live) -> None:
+    def _register(self, entry: LiveEntry) -> None:
         name = entry.item.name
         session = entry.session
         self.live[name] = entry
@@ -330,37 +257,34 @@ class _Run:
         if not self.event_engine:
             return
         if entry.needs_admission:
-            if session.admission_dependencies() is None:
-                # Conservative fallback: the session cannot say what its
-                # verdict depends on, so it is re-examined every tick.
-                self.dynamic.add(name)
-            else:
-                # Policy-aware invalidation: classify now (dirty), let
-                # phase 1 run the first peek (it may commit or abort), and
-                # afterwards re-examine only on channel notifications.
-                entry.tracks_deps = True
-                self.phase1.add(name)
-                self.dirty.add(name)
-        elif session.peek() is None:
-            self.complete.add(name)
+            # Policy-aware invalidation when the session can declare what
+            # its verdict depends on; the conservative every-tick fallback
+            # otherwise.
+            entry.tracks_deps = session.admission_dependencies() is not None
+            self.cache.register(
+                name,
+                tracks_deps=entry.tracks_deps,
+                dynamic=not entry.tracks_deps,
+                complete=False,
+            )
         else:
-            self.dirty.add(name)
+            self.cache.register(
+                name,
+                tracks_deps=False,
+                dynamic=False,
+                complete=session.peek() is None,
+            )
 
     def record_event(self, name: str, event: Event) -> None:
-        self.events_by_txn.setdefault(name, []).append(len(self.events))
-        self.events.append(event)
+        self.log.record(name, event)
 
     def erase(self, name: str) -> None:
-        """Drop an aborted transaction's events in O(own events): tombstone
-        the indexed positions (``_assemble`` skips them) instead of
-        rebuilding the whole log."""
-        for i in self.events_by_txn.pop(name, ()):
-            self.events[i] = None
+        self.log.erase(name)
 
-    def commit(self, entry: _Live) -> None:
+    def commit(self, entry: LiveEntry) -> None:
         name = entry.item.name
         m = self.metrics
-        self.events_by_txn.pop(name, None)  # committed events are permanent
+        self.log.forget(name)  # committed events are permanent
         entry.session.on_commit()
         entry.record.committed = True
         entry.record.end_tick = m.ticks
@@ -375,7 +299,7 @@ class _Run:
         if released:
             self._wake(woken)
 
-    def abort(self, victim: _Live, reason: str) -> None:
+    def abort(self, victim: LiveEntry, reason: str) -> None:
         m = self.metrics
         name = victim.item.name
         m.aborted += 1
@@ -383,7 +307,7 @@ class _Run:
         self._forget(victim)
         _, woken = self.table.release_all_wake(name)
         self._wake(woken)
-        self.erase(name)
+        self.log.erase(name)
 
         def drop() -> None:
             del self.live[name]
@@ -409,7 +333,7 @@ class _Run:
         # replanned script) is an abort, not a restart.
         m.restarts += 1
         victim.record.restarts += 1
-        entry = _Live(
+        entry = LiveEntry(
             victim.item,
             session,
             victim.record,
@@ -418,7 +342,7 @@ class _Run:
         )
         self._register(entry)
 
-    def _execute_step(self, entry: _Live) -> None:
+    def _execute_step(self, entry: LiveEntry) -> None:
         m = self.metrics
         step = entry.session.peek()
         assert step is not None
@@ -431,8 +355,10 @@ class _Run:
                 # was free (watchers) must be re-derived; queued waiters
                 # stay blocked — a grant can only extend their blocker
                 # sets, so their edges are updated in place instead.
-                self._mark_dirty(self.watchers.get(step.entity, ()), exclude=name)
-                self._extend_lock_edges(name, step.entity)
+                self.cache.mark_dirty(
+                    self.cache.watchers.get(step.entity, ()), exclude=name
+                )
+                self.classifier.extend_lock_edges(name, step.entity)
         elif step.is_unlock and mode is not None:
             weakened = self.event_engine and self.table.would_weaken(
                 name, step.entity, mode
@@ -440,353 +366,67 @@ class _Run:
             woken = self.table.release(name, step.entity, mode)
             self._wake(woken)
             if weakened:
-                self._refresh_lock_edges(name, step.entity)
-        self.record_event(name, Event(name, entry.step_count, step))
+                self.classifier.refresh_lock_edges(name, step.entity)
+        self.log.record(name, Event(name, entry.step_count, step))
         entry.step_count += 1
         entry.session.executed()
         m.events_executed += 1
         entry.record.steps_executed += 1
         if self.event_engine:
-            self._clear_classification(entry)
-            if name in self.dynamic:
+            self.classifier.clear(entry)
+            if name in self.cache.dynamic:
                 pass  # re-examined every tick anyway
             elif entry.tracks_deps:
                 # Defer the replanning peek to next tick's phase 1 (it may
                 # raise or drain to None — commit/abort are phase-1
                 # business, exactly when the naive engine sees them).
-                self.phase1.add(name)
-                self.dirty.add(name)
+                self.cache.phase1.add(name)
+                self.cache.dirty.add(name)
             elif entry.session.peek() is None:
-                self.complete.add(name)
+                self.cache.complete.add(name)
             else:
-                self.dirty.add(name)
-
-    # ------------------------------------------------------------------
-    # Naive engine: the reference per-tick rescan
-    # ------------------------------------------------------------------
-
-    def _naive_tick(self) -> None:
-        m = self.metrics
-        live = self.live
-        # Phase 1: commits.
-        for name in list(live):
-            entry = live[name]
-            try:
-                step = entry.session.peek()
-            except PolicyViolation as exc:
-                self.abort(entry, str(exc))
-                continue
-            if step is None:
-                self.commit(entry)
-        if not live:
-            return  # next arrivals (if any) admit at the top
-
-        # Phase 2: classify.
-        runnable: List[_Live] = []
-        waits_for: Dict[str, Set[str]] = {}
-        aborts: List[Tuple[_Live, str]] = []
-        for name in sorted(live):
-            entry = live[name]
-            step = entry.session.peek()
-            assert step is not None
-            m.classify_checks += 1
-            m.admission_checks += 1
-            verdict = entry.session.admission()
-            if verdict.verdict is Admission.ABORT:
-                aborts.append((entry, verdict.reason or "policy violation"))
-                continue
-            if verdict.verdict is Admission.WAIT:
-                m.policy_wait_observations += 1
-                entry.record.blocked_ticks += 1
-                waits_for.setdefault(name, set()).update(
-                    w for w in verdict.waiting_on if w in live
-                )
-                continue
-            mode = step.lock_mode
-            if step.is_lock and mode is not None:
-                m.blocker_queries += 1
-                blockers = self.table.blockers(name, step.entity, mode)
-                if blockers:
-                    m.lock_wait_observations += 1
-                    entry.record.blocked_ticks += 1
-                    waits_for.setdefault(name, set()).update(
-                        b for b in blockers if b in live
-                    )
-                    continue
-            runnable.append(entry)
-
-        for entry, reason in aborts:
-            self.abort(entry, reason)
-        if aborts:
-            return
-
-        if not runnable:
-            victim_name = _pick_deadlock_victim(waits_for, live)
-            if victim_name is None:
-                raise SimulationError(
-                    f"livelock: no runnable session and no waits-for cycle "
-                    f"among {_truncated(sorted(live))}"
-                )
-            m.deadlocks += 1
-            m.deadlock_victims.append(victim_name)
-            self.abort(live[victim_name], "deadlock victim")
-            return
-
-        # Phase 3: execute one step.
-        self._execute_step(self.rng.choice(runnable))
-
-    # ------------------------------------------------------------------
-    # Event engine
-    # ------------------------------------------------------------------
-
-    def _subscribe(self, name: str, channels: Iterable[Hashable]) -> None:
-        """Point the session's subscriptions at ``channels`` (re-read from
-        ``admission_dependencies`` at every classification, since the
-        relevant region moves with the pending step)."""
-        new = tuple(dict.fromkeys(channels))
-        old = self.session_subs.get(name, ())
-        if new == old:
-            return
-        for ch in old:
-            subs = self.channel_subs.get(ch)
-            if subs is not None:
-                subs.discard(name)
-                if not subs:
-                    del self.channel_subs[ch]
-        if new:
-            self.session_subs[name] = new
-            for ch in new:
-                self.channel_subs.setdefault(ch, set()).add(name)
-        else:
-            self.session_subs.pop(name, None)
-
-    def _policy_changed(self, channels: Tuple[Hashable, ...]) -> None:
-        """Context-emitted change notification: mark every subscriber of a
-        changed channel dirty, so phase 2 re-derives exactly the cached
-        verdicts this mutation can flip."""
-        m = self.metrics
-        for ch in channels:
-            subs = self.channel_subs.get(ch)
-            if not subs:
-                continue
-            for n in subs:
-                if n in self.live and n not in self.dirty:
-                    self.dirty.add(n)
-                    m.invalidations += 1
+                self.cache.dirty.add(name)
 
     def _wake(self, names) -> None:
         """A release returned these waiters in its wake-up set."""
-        if not self.event_engine:
-            return
-        for n in names:
-            if n in self.live and n not in self.dirty:
-                self.dirty.add(n)
-                self.metrics.wakeups += 1
+        if self.event_engine:
+            self.cache.wake(names)
 
-    def _mark_dirty(self, names, exclude: Optional[str] = None) -> None:
-        for n in names:
-            if n != exclude and n in self.live:
-                self.dirty.add(n)
-
-    # ---- waits-for edge maintenance ----------------------------------
-
-    def _set_edges(self, name: str, blockers: Set[str]) -> None:
-        """Point ``name``'s outgoing waits-for edges at ``blockers``,
-        keeping the reverse index in sync."""
-        old = self.waits_for.get(name)
-        self.waits_for[name] = blockers
-        if old:
-            for b in old - blockers:
-                self._drop_reverse(b, name)
-            added = blockers - old
-        else:
-            added = blockers
-        for b in added:
-            self.blocked_by.setdefault(b, set()).add(name)
-
-    def _drop_edges(self, name: str) -> None:
-        """Remove ``name``'s outgoing waits-for edges (and their reverse
-        entries)."""
-        old = self.waits_for.pop(name, None)
-        if old:
-            for b in old:
-                self._drop_reverse(b, name)
-
-    def _drop_reverse(self, blocker: str, waiter: str) -> None:
-        waiters = self.blocked_by.get(blocker)
-        if waiters is not None:
-            waiters.discard(waiter)
-            if not waiters:
-                del self.blocked_by[blocker]
-
-    def _refresh_lock_edges(self, releaser: str, entity: Entity) -> None:
-        """A release by ``releaser`` may have dropped it from ``entity``'s
-        conflicting holders without unblocking the remaining waiters (the
-        wake-up set is grantability-filtered).  Their cached waits-for
-        edges must not keep pointing at the releaser — the maintained
-        graph would diverge from the naive engine's fresh rebuild at the
-        next cycle search — so re-derive each still-blocked waiter's edge
-        set from the table, without re-classifying the session."""
-        m = self.metrics
-        for waiter, wanted in self.table.waiter_modes(entity):
-            if waiter == releaser or waiter in self.dirty:
-                continue  # dirty waiters are fully re-classified anyway
-            entry = self.live.get(waiter)
-            if entry is None or entry.state != _LOCK_WAIT:
-                continue
-            m.blocker_queries += 1
-            self._set_edges(
-                waiter,
-                {
-                    b
-                    for b in self.table.blockers(waiter, entity, wanted)
-                    if b in self.live
-                },
-            )
-
-    def _extend_lock_edges(self, holder: str, entity: Entity) -> None:
-        """``holder`` just acquired a grant on ``entity``: a fresh grant
-        cannot unblock a queued waiter, only extend its blocker set, so the
-        new edge is added in place — the acquire-side twin of
-        :meth:`_refresh_lock_edges` (re-classifying every waiter here was
-        O(waiters) full classifications per acquire on a hot entity)."""
-        effective = self.table.mode_held(holder, entity)
-        assert effective is not None
-        for waiter, wanted in self.table.waiter_modes(entity):
-            if waiter == holder or waiter in self.dirty:
-                continue  # dirty waiters are fully re-classified anyway
-            entry = self.live.get(waiter)
-            if entry is None or entry.state != _LOCK_WAIT:
-                continue
-            if not wanted.conflicts_with(effective):
-                continue
-            edges = self.waits_for.get(waiter)
-            if edges is not None and holder not in edges:
-                edges.add(holder)
-                self.blocked_by.setdefault(holder, set()).add(waiter)
-
-    def _accrue(self, entry: _Live, through: int) -> None:
-        """Catch a blocked session's lazy blocked-tick accounting up
-        through tick ``through`` (it sat in the same blocked state the
-        whole time — anything that could have changed it would have
-        re-examined it sooner)."""
-        if entry.state == _LOCK_WAIT:
-            lock_wait = True
-        elif entry.state == _POLICY_WAIT:
-            lock_wait = False
-        else:
-            return
-        skipped = through - entry.accrued_to
-        if skipped > 0:
-            self.metrics.accrue_blocked(entry.record, lock_wait, skipped)
-            entry.accrued_to = through
-
-    def _clear_classification(self, entry: _Live) -> None:
-        name = entry.item.name
-        self.runnable.discard(name)
-        self._drop_edges(name)
-        if entry.state == _LOCK_WAIT:
-            self.table.remove_waiter(name)
-        if entry.watch_entity is not None:
-            watching = self.watchers.get(entry.watch_entity)
-            if watching is not None:
-                watching.discard(name)
-                if not watching:
-                    del self.watchers[entry.watch_entity]
-            entry.watch_entity = None
-        entry.state = _NEW
-
-    def _forget(self, entry: _Live) -> None:
+    def _forget(self, entry: LiveEntry) -> None:
         """Drop every piece of engine bookkeeping for this incarnation."""
         name = entry.item.name
-        self._clear_classification(entry)
+        self.classifier.clear(entry)
         # Eagerly prune inbound waits-for edges: a departed session blocks
         # nobody, and a restarted incarnation under the same name must not
         # inherit edges aimed at its predecessor.  The waiters' lazy
         # accounting is caught up through the previous tick first (if this
         # departure is their wake-up, re-classification will cover the
         # current tick; if it is not, a later accrual point will).
-        waiters = self.blocked_by.pop(name, None)
+        waiters = self.graph.forget(name)
         if waiters:
             through = self.metrics.ticks - 1
             for w in waiters:
                 w_entry = self.live.get(w)
                 if w_entry is not None:
-                    self._accrue(w_entry, through)
-                edges = self.waits_for.get(w)
-                if edges is not None:
-                    edges.discard(name)
-        self.dirty.discard(name)
-        self.dynamic.discard(name)
-        self.complete.discard(name)
-        self.phase1.discard(name)
-        self._subscribe(name, ())
+                    self.classifier.accrue(w_entry, through)
+        self.cache.forget(name)
 
-    def _classify(self, entry: _Live, aborts: List[Tuple[_Live, str]]) -> None:
-        """Re-derive ``entry``'s scheduling state: one iteration of the
-        naive Phase-2 loop, plus lazy accounting for the ticks skipped since
-        the previous classification (during which the session necessarily
-        sat in the same blocked state — nothing that could have changed it
-        happened, or it would have been re-examined sooner)."""
-        m = self.metrics
-        name = entry.item.name
-        now = m.ticks
-        self._accrue(entry, now - 1)
-        self._clear_classification(entry)
-        m.classify_checks += 1
-        step = entry.session.peek()
-        assert step is not None
-        if entry.tracks_deps:
-            deps = entry.session.admission_dependencies()
-            self._subscribe(name, deps if deps is not None else ())
-        if entry.needs_admission:
-            m.admission_checks += 1
-            verdict = entry.session.admission()
-            if verdict.verdict is Admission.ABORT:
-                aborts.append((entry, verdict.reason or "policy violation"))
-                return
-            if verdict.verdict is Admission.WAIT:
-                m.accrue_blocked(entry.record, False, 1)
-                entry.state = _POLICY_WAIT
-                entry.accrued_to = now
-                self._set_edges(
-                    name, {w for w in verdict.waiting_on if w in self.live}
-                )
-                return
-        mode = step.lock_mode
-        if step.is_lock and mode is not None:
-            m.blocker_queries += 1
-            blockers = self.table.blockers(name, step.entity, mode)
-            if blockers:
-                m.accrue_blocked(entry.record, True, 1)
-                entry.state = _LOCK_WAIT
-                entry.accrued_to = now
-                self.table.add_waiter(name, step.entity, mode)
-                self._set_edges(name, {b for b in blockers if b in self.live})
-                return
-            # Runnable with a pending lock: watch the entity so a concurrent
-            # acquire invalidates this classification.
-            self.watchers.setdefault(step.entity, set()).add(name)
-            entry.watch_entity = step.entity
-        entry.state = _RUNNABLE
-        self.runnable.add(name)
+    # ------------------------------------------------------------------
+    # Event engine tick
+    # ------------------------------------------------------------------
 
     def _event_tick(self) -> None:
         m = self.metrics
         live = self.live
         # Phase 1: commits/phase-1 aborts.  Only sessions that can act here
-        # — every-tick dynamic ones (whose peek replans against present
-        # shared state and may raise or drain to None), finished scripted
-        # ones, and dependency-declaring sessions due their replanning peek
-        # (fresh admission or just executed) — are visited, in admission
-        # order, matching the naive engine's insertion-order scan over all
-        # of live (for every other session the phase-1 peek is an
-        # observable no-op: its queue is non-empty and peek is idempotent).
-        candidates = [
-            n for n in self.complete | self.dynamic | self.phase1 if n in live
-        ]
-        self.phase1.clear()
-        for name in sorted(candidates, key=lambda n: live[n].seq):
+        # (every-tick dynamic ones, finished scripted ones, and
+        # dependency-declaring sessions due their replanning peek) are
+        # visited, in admission order, matching the naive engine's
+        # insertion-order scan over all of live — for every other session
+        # the phase-1 peek is an observable no-op.
+        for name in sorted(
+            self.cache.phase1_candidates(), key=lambda n: live[n].seq
+        ):
             entry = live.get(name)
             if entry is None:
                 continue
@@ -803,138 +443,46 @@ class _Run:
         # Phase 2: classify only sessions whose cached state may have
         # changed — the dirty set (woken waiters, invalidated watchers,
         # executors, fresh admissions) plus every dynamic session.
-        check = [
-            n
-            for n in self.dirty | self.dynamic
-            if n in live and n not in self.complete
-        ]
-        self.dirty.clear()
-        aborts: List[Tuple[_Live, str]] = []
-        for name in sorted(check):
-            self._classify(live[name], aborts)
+        aborts: List[Tuple[LiveEntry, str]] = []
+        for name in self.cache.take_check_set():
+            self.classifier.classify(live[name], aborts)
         for entry, reason in aborts:
             self.abort(entry, reason)
         if aborts:
             return
 
-        if not self.runnable:
-            # Deadlock path: the waits-for graph is maintained always-fresh
-            # (edges re-derived on block/release, inbound edges pruned at
-            # departure), so cycle detection runs directly on it — no
-            # re-validation of cached classifications, which used to make
-            # every no-runnable tick O(live).
-            deadlock = _find_deadlock(self.waits_for, live)
-            if deadlock is None:
+        if not self.cache.runnable:
+            # Deadlock path: the graph is maintained always-fresh, so the
+            # incremental detector runs directly on it — acyclicity
+            # certificates survive between detections, and only the
+            # possibly-cyclic region is re-walked (the from-scratch walk
+            # was the last O(blocked) per-detection cost).
+            cycle = self.graph.find_cycle()
+            m.cycle_detections += 1
+            m.cycle_visits += self.graph.last_visits
+            if cycle is None:
                 raise SimulationError(
                     f"livelock: no runnable session and no waits-for cycle "
                     f"among {_truncated(sorted(live))}"
                 )
-            victim_name, cycle = deadlock
+            victim_name = pick_victim(cycle, live)
             m.deadlocks += 1
             m.deadlock_victims.append(victim_name)
-            # The naive engine classifies every blocked session at the
-            # deadlock tick; the cycle members' lazy accounting must be
-            # equally fresh here (the victim's record is final after the
-            # abort), the rest catch up at their next accrual point.
+            # The cycle members' lazy accounting must be as fresh as the
+            # naive engine's every-blocked-session classification here
+            # (the victim's record is final after the abort).
             for member in cycle:
                 entry = live.get(member)
                 if entry is not None:
-                    self._accrue(entry, m.ticks)
+                    self.classifier.accrue(entry, m.ticks)
             self.abort(live[victim_name], "deadlock victim")
             return
 
         # Phase 3: execute one step.
-        self._execute_step(live[self.rng.choice(sorted(self.runnable))])
+        self._execute_step(live[self.rng.choice(sorted(self.cache.runnable))])
 
 
-def _assemble(events: Sequence[Optional[Event]]) -> Schedule:
-    """Build a Schedule from raw events, reconstructing each transaction from
-    its own event subsequence (erased aborts tombstone their positions to
-    ``None`` and leave per-transaction gaps in the recorded indices, so
-    tombstones are skipped and events re-indexed)."""
-    steps_by_txn: Dict[str, List[Step]] = {}
-    reindexed: List[Event] = []
-    for e in events:
-        if e is None:
-            continue  # erased by an abort
-        seq = steps_by_txn.setdefault(e.txn, [])
-        reindexed.append(Event(e.txn, len(seq), e.step))
-        seq.append(e.step)
-    txns = [Transaction(name, tuple(steps)) for name, steps in steps_by_txn.items()]
-    return Schedule(txns, reindexed)
-
-
-def _truncated(names: Sequence[str], limit: int = 12) -> str:
-    """Render a session-name list for an error message, truncating huge
-    populations (a stalled 10,000-transaction run used to dump every
-    name into the SimulationError text)."""
-    names = list(names)
-    if len(names) <= limit:
-        return repr(names)
-    shown = ", ".join(repr(n) for n in names[:limit])
-    return f"[{shown}, ... +{len(names) - limit} more]"
-
-
-def _find_deadlock(
-    waits_for: Dict[str, Set[str]], live: Dict[str, _Live]
-) -> Optional[Tuple[str, List[str]]]:
-    """Find a cycle in the waits-for graph; return ``(victim, cycle)``
-    where the victim is the cycle's cheapest member (prefer no structural
-    effects, then fewest executed steps)."""
-    cycle = _find_cycle(waits_for)
-    if cycle is None:
-        return None
-    def cost(name: str) -> Tuple[int, int, str]:
-        entry = live[name]
-        return (
-            1 if entry.session.has_structural_effects else 0,
-            entry.step_count,
-            name,
-        )
-    return min(cycle, key=cost), cycle
-
-
-def _pick_deadlock_victim(
-    waits_for: Dict[str, Set[str]], live: Dict[str, _Live]
-) -> Optional[str]:
-    """The victim half of :func:`_find_deadlock` (the naive engine needs
-    no cycle-member accounting)."""
-    found = _find_deadlock(waits_for, live)
+def _pick_deadlock_victim(waits_for, live) -> Optional[str]:
+    """Legacy :func:`repro.sim.deadlock.resolve_deadlock` (victim only)."""
+    found = resolve_deadlock(waits_for, live)
     return None if found is None else found[0]
-
-
-def _find_cycle(graph: Dict[str, Set[str]]) -> Optional[List[str]]:
-    """Three-colour DFS with an explicit stack — wait chains can run
-    thousands of sessions deep (one blocked txn per entity of a long
-    sweep), well past Python's recursion limit."""
-    color: Dict[str, int] = {}
-    parent: Dict[str, Optional[str]] = {}
-
-    for root in sorted(graph):
-        if color.get(root, 0) != 0:
-            continue
-        parent[root] = None
-        color[root] = 1
-        stack = [(root, iter(sorted(graph.get(root, ()))))]
-        while stack:
-            node, neighbours = stack[-1]
-            descended = False
-            for nxt in neighbours:
-                c = color.get(nxt, 0)
-                if c == 0:
-                    parent[nxt] = node
-                    color[nxt] = 1
-                    stack.append((nxt, iter(sorted(graph.get(nxt, ())))))
-                    descended = True
-                    break
-                if c == 1:
-                    cycle = [node]
-                    cur = node
-                    while cur != nxt:
-                        cur = parent[cur]  # type: ignore[assignment]
-                        cycle.append(cur)
-                    return cycle
-            if not descended:
-                color[node] = 2
-                stack.pop()
-    return None

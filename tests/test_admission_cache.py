@@ -1,0 +1,133 @@
+"""Direct unit coverage of the admission layer
+(:class:`repro.sim.AdmissionCache`): registration routing, the
+invalidation-channel subscription index, dirty-set routing, and the tick
+queries.  The full classification semantics are covered end to end by the
+engine-equivalence suites; these tests pin the cache's contract in
+isolation.
+"""
+
+from repro.sim import AdmissionCache, Metrics
+
+
+def make_cache(live_names=("A", "B", "C")):
+    live = {n: object() for n in live_names}
+    metrics = Metrics()
+    return AdmissionCache(live, metrics), live, metrics
+
+
+class TestRegistration:
+    def test_tracks_deps_gets_phase1_and_dirty(self):
+        cache, _, _ = make_cache()
+        cache.register("A", tracks_deps=True, dynamic=False, complete=False)
+        assert "A" in cache.phase1 and "A" in cache.dirty
+        assert "A" not in cache.dynamic
+
+    def test_no_declaration_dynamic_joins_every_tick_set(self):
+        cache, _, _ = make_cache()
+        cache.register("A", tracks_deps=False, dynamic=True, complete=False)
+        assert "A" in cache.dynamic
+        assert "A" not in cache.dirty
+
+    def test_drained_script_goes_complete(self):
+        cache, _, _ = make_cache()
+        cache.register("A", tracks_deps=False, dynamic=False, complete=True)
+        assert "A" in cache.complete
+        assert "A" not in cache.dirty
+
+    def test_plain_session_is_just_dirty(self):
+        cache, _, _ = make_cache()
+        cache.register("A", tracks_deps=False, dynamic=False, complete=False)
+        assert cache.dirty == {"A"}
+
+    def test_forget_clears_every_route(self):
+        cache, _, _ = make_cache()
+        cache.register("A", tracks_deps=True, dynamic=False, complete=False)
+        cache.subscribe("A", ["ch1"])
+        cache.runnable.add("A")
+        cache.forget("A")
+        assert not cache.dirty and not cache.phase1 and not cache.runnable
+        assert cache.channel_subs == {} and cache.session_subs == {}
+
+
+class TestChannels:
+    def test_policy_changed_marks_only_subscribers_dirty(self):
+        cache, _, metrics = make_cache()
+        cache.subscribe("A", ["ch1", "ch2"])
+        cache.subscribe("B", ["ch2"])
+        cache.policy_changed(("ch2",))
+        assert cache.dirty == {"A", "B"}
+        assert metrics.invalidations == 2
+        cache.policy_changed(("ch-unknown",))
+        assert metrics.invalidations == 2
+
+    def test_resubscribe_moves_channels(self):
+        cache, _, _ = make_cache()
+        cache.subscribe("A", ["ch1", "ch2"])
+        cache.subscribe("A", ["ch2", "ch3"])
+        assert cache.channel_subs == {"ch2": {"A"}, "ch3": {"A"}}
+        assert cache.session_subs["A"] == ("ch2", "ch3")
+        cache.subscribe("A", [])
+        assert cache.channel_subs == {} and cache.session_subs == {}
+
+    def test_departed_subscriber_is_not_marked(self):
+        cache, live, metrics = make_cache()
+        cache.subscribe("A", ["ch1"])
+        del live["A"]
+        cache.policy_changed(("ch1",))
+        assert cache.dirty == set()
+        assert metrics.invalidations == 0
+
+    def test_already_dirty_subscriber_counts_once(self):
+        cache, _, metrics = make_cache()
+        cache.subscribe("A", ["ch1"])
+        cache.dirty.add("A")
+        cache.policy_changed(("ch1",))
+        assert metrics.invalidations == 0
+
+
+class TestDirtyRouting:
+    def test_wake_filters_departed_and_counts(self):
+        cache, live, metrics = make_cache(("A", "B"))
+        cache.wake(["A", "B", "GONE"])
+        assert cache.dirty == {"A", "B"}
+        assert metrics.wakeups == 2
+        cache.wake(["A"])  # already dirty: no double count
+        assert metrics.wakeups == 2
+
+    def test_mark_dirty_excludes_and_filters(self):
+        cache, _, _ = make_cache(("A", "B"))
+        cache.mark_dirty(["A", "B", "GONE"], exclude="A")
+        assert cache.dirty == {"B"}
+
+    def test_watch_unwatch_round_trip(self):
+        cache, _, _ = make_cache()
+        cache.watch("e1", "A")
+        cache.watch("e1", "B")
+        cache.unwatch("e1", "A")
+        assert cache.watchers == {"e1": {"B"}}
+        cache.unwatch("e1", "B")
+        assert cache.watchers == {}
+
+
+class TestTickQueries:
+    def test_phase1_candidates_drains_phase1_keeps_standing_sets(self):
+        cache, live, _ = make_cache(("A", "B", "C"))
+        cache.complete.add("A")
+        cache.dynamic.add("B")
+        cache.phase1.add("C")
+        cache.phase1.add("GONE")
+        first = set(cache.phase1_candidates())
+        assert first == {"A", "B", "C"}
+        assert cache.phase1 == set()
+        # complete/dynamic are standing: they come back next tick.
+        assert set(cache.phase1_candidates()) == {"A", "B"}
+
+    def test_take_check_set_is_sorted_filtered_and_draining(self):
+        cache, live, _ = make_cache(("A", "B", "C", "D"))
+        cache.dirty.update({"C", "A", "GONE"})
+        cache.dynamic.add("B")
+        cache.complete.add("D")
+        cache.dirty.add("D")  # complete sessions are never re-classified
+        assert cache.take_check_set() == ["A", "B", "C"]
+        # dirty drained; dynamic remains standing.
+        assert cache.take_check_set() == ["B"]

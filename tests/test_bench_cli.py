@@ -1,0 +1,59 @@
+"""The ``python -m repro.bench`` CLI surface: preset/factory discovery via
+``--list`` and the preset definitions themselves (shapes only — the full
+grid runs are exercised by benchmarks/ and the CI smoke jobs)."""
+
+import pytest
+
+from repro import bench
+from repro.sim import grid_factory_names
+
+
+class TestListFlag:
+    def test_list_prints_presets_and_factories(self, capsys):
+        assert bench.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        for preset in bench.PRESETS:
+            assert preset in out
+        for factory in grid_factory_names():
+            assert factory in out
+
+    def test_list_needs_no_preset(self, capsys):
+        # --list alone must not trip the "a preset is required" error.
+        assert bench.main(["--list"]) == 0
+
+    def test_missing_preset_errors(self, capsys):
+        with pytest.raises(SystemExit):
+            bench.main([])
+
+
+class TestPresets:
+    def test_registry_covers_the_documented_grids(self):
+        assert set(bench.PRESETS) == {
+            "stress", "deadlock", "traversal", "mega_stress",
+        }
+
+    def test_mega_stress_shape(self):
+        spec = bench.PRESETS["mega_stress"](1.0)
+        (workload,) = spec.workloads
+        assert workload.kwargs["num_txns"] >= 5000
+        assert spec.lock_shards > 1
+        assert not spec.check_serializability
+        scaled = bench.PRESETS["mega_stress"](0.02)
+        assert scaled.workloads[0].kwargs["num_txns"] < 5000
+
+    def test_scale_shrinks_with_floor(self):
+        spec = bench.PRESETS["stress"](0.0001)
+        assert spec.workloads[0].kwargs["num_txns"] == 50
+
+    def test_shards_flag_overrides_spec(self):
+        args = bench.build_parser().parse_args(
+            ["mega_stress", "--shards", "4"]
+        )
+        assert args.shards == 4
+
+    def test_parser_accepts_engine_and_workers(self):
+        args = bench.build_parser().parse_args(
+            ["deadlock", "--workers", "2", "--engine", "naive",
+             "--scale", "0.1"]
+        )
+        assert (args.workers, args.engine, args.scale) == (2, "naive", 0.1)
