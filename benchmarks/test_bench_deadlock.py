@@ -164,6 +164,7 @@ def test_deadlock_storm_stress():
         f"{_scaled(1200)}/{_scaled(150)} txns (scale={SCALE:g})"
     )
     cells = []
+    suite_start = time.perf_counter()
 
     # 2PL storm: unordered two-access transactions, half the traffic on an
     # 8-entity hot set, arrivals just above service capacity.  Most ticks
@@ -195,7 +196,8 @@ def test_deadlock_storm_stress():
     ))
 
     write_bench_artifact(
-        RESULTS_PATH, "deadlock_stress", cells, scale=SCALE
+        RESULTS_PATH, "deadlock_stress", cells, scale=SCALE,
+        wall_s=time.perf_counter() - suite_start,
     )
     print(format_table(
         cells,

@@ -131,6 +131,7 @@ def test_dynamic_policy_invalidation_stress():
         f"{_scaled(1200)}/{_scaled(1100)} txns (scale={SCALE:g})"
     )
     cells = []
+    suite_start = time.perf_counter()
 
     # Altruistic locking: an open system of short transactions arriving
     # just above the simulator's service capacity, so a standing population
@@ -166,7 +167,8 @@ def test_dynamic_policy_invalidation_stress():
     assert cells[0]["invalidations"] > 0
 
     write_bench_artifact(
-        RESULTS_PATH, "invalidation_stress", cells, scale=SCALE
+        RESULTS_PATH, "invalidation_stress", cells, scale=SCALE,
+        wall_s=time.perf_counter() - suite_start,
     )
     print(format_table(
         cells,

@@ -1,0 +1,192 @@
+"""Findings, the rule registry, suppressions, and baselines.
+
+A *rule* is a function ``(FileContext) -> Iterable[Finding]`` registered
+under a stable ``RPR0xx`` code.  The engine (:mod:`repro.analysis.engine`)
+parses each file once and hands every selected rule the same context.
+
+Suppressions are per line and must carry a reason::
+
+    bad_call()  # repro: noqa[RPR001] shard introspection is read-only
+
+A ``noqa`` with no reason is itself a finding (**RPR000**) — an
+undocumented suppression is exactly the reviewer-memory problem this
+subsystem replaces.  Baselines grandfather pre-existing findings by
+fingerprint so new code is held to the full rule set while old debt is
+burned down deliberately.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+#: Code for meta-findings produced by the engine itself (reasonless noqa,
+#: unparsable files).  Not selectable off.
+META_CODE = "RPR000"
+
+_NOQA_RE = re.compile(r"#\s*repro:\s*noqa\[([A-Z0-9,\s]+)\]\s*(.*)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at a source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity used by baselines (line-sensitive on purpose:
+        moving grandfathered code re-surfaces it for review)."""
+        return f"{self.code}:{self.path}:{self.line}:{self.message}"
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "code": self.code,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered rule: stable code, short name, and the check itself."""
+
+    code: str
+    name: str
+    description: str
+    check: Callable[["FileContext"], Iterable[Finding]] = field(repr=False)  # type: ignore[name-defined]  # noqa: F821
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register_rule(code: str, name: str, description: str):
+    """Decorator: register ``fn`` as the checker for ``code``."""
+
+    def deco(fn: Callable) -> Callable:
+        if code in _REGISTRY:
+            raise ValueError(f"duplicate rule code {code!r}")
+        _REGISTRY[code] = Rule(code=code, name=name, description=description, check=fn)
+        return fn
+
+    return deco
+
+
+#: Alias kept for rule modules that read better as ``@rule(...)``.
+rule = register_rule
+
+
+def all_rules() -> Dict[str, Rule]:
+    return dict(_REGISTRY)
+
+
+def iter_rules(select: Optional[Sequence[str]] = None) -> Iterator[Rule]:
+    """Registered rules in code order, optionally filtered to ``select``."""
+    wanted = None if not select else set(select)
+    if wanted is not None:
+        unknown = wanted - set(_REGISTRY) - {META_CODE}
+        if unknown:
+            raise KeyError(
+                f"unknown rule code(s): {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(sorted(_REGISTRY))}"
+            )
+    for code in sorted(_REGISTRY):
+        if wanted is None or code in wanted:
+            yield _REGISTRY[code]
+
+
+# ----------------------------------------------------------------------
+# Suppressions
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Suppression:
+    line: int
+    codes: frozenset
+    reason: str
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, Suppression]:
+    """Per-line ``# repro: noqa[CODE, ...] reason`` markers (1-based)."""
+    out: Dict[int, Suppression] = {}
+    for i, text in enumerate(lines, start=1):
+        m = _NOQA_RE.search(text)
+        if m is None:
+            continue
+        codes = frozenset(c.strip() for c in m.group(1).split(",") if c.strip())
+        out[i] = Suppression(line=i, codes=codes, reason=m.group(2).strip())
+    return out
+
+
+def apply_suppressions(
+    findings: Iterable[Finding],
+    suppressions: Dict[int, Suppression],
+    path: str,
+) -> List[Finding]:
+    """Drop suppressed findings; add an RPR000 for each reasonless or
+    unused-code-free marker problem (a reasonless noqa is flagged even when
+    it suppresses nothing — it is dead weight either way)."""
+    kept: List[Finding] = []
+    for f in findings:
+        sup = suppressions.get(f.line)
+        if sup is not None and f.code in sup.codes:
+            continue
+        kept.append(f)
+    for sup in suppressions.values():
+        if not sup.reason:
+            kept.append(
+                Finding(
+                    code=META_CODE,
+                    path=path,
+                    line=sup.line,
+                    col=0,
+                    message=(
+                        "suppression without a reason: write "
+                        "'# repro: noqa[CODE] why this is safe'"
+                    ),
+                )
+            )
+    return kept
+
+
+# ----------------------------------------------------------------------
+# Baselines
+# ----------------------------------------------------------------------
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str) -> Set[str]:
+    """Fingerprints grandfathered by ``path`` (empty if absent)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except FileNotFoundError:
+        return set()
+    if not isinstance(data, dict) or data.get("version") != BASELINE_VERSION:
+        raise ValueError(f"{path}: not a v{BASELINE_VERSION} lint baseline")
+    fps = data.get("findings", [])
+    if not isinstance(fps, list) or not all(isinstance(x, str) for x in fps):
+        raise ValueError(f"{path}: baseline 'findings' must be a list of strings")
+    return set(fps)
+
+
+def save_baseline(path: str, findings: Iterable[Finding]) -> int:
+    """Write the fingerprints of ``findings``; returns the count."""
+    fps = sorted({f.fingerprint for f in findings})
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump({"version": BASELINE_VERSION, "findings": fps}, fh, indent=2)
+        fh.write("\n")
+    return len(fps)

@@ -1,0 +1,178 @@
+"""File walking, parsing, and rule dispatch.
+
+Each file is parsed once into a :class:`FileContext` carrying the AST, a
+child→parent map (rules need to ask "what consumes this expression?"), the
+source lines, and the file's *module name*.  The module name drives scoping
+decisions (RPR001's sorted-iteration rule applies to ``repro.sim`` /
+``repro.policies`` / ``repro.graphs``; RPR003's layer table is keyed on
+it), and is derived from the path by locating the innermost ``src`` or
+``repro`` component.  Fixture files can override it with a leading
+``# repro-lint-module: dotted.name`` comment so the corpus under
+``tests/lint_fixtures/`` exercises scoped rules without living in ``src/``.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from .core import (
+    META_CODE,
+    Finding,
+    iter_rules,
+    parse_suppressions,
+    apply_suppressions,
+)
+
+_MODULE_OVERRIDE_RE = re.compile(r"#\s*repro-lint-module:\s*([\w.]+)")
+
+_SKIP_DIRS = {"__pycache__", ".git", ".hg", ".mypy_cache", ".pytest_cache"}
+
+
+@dataclass
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    path: str
+    module: str
+    tree: ast.Module
+    lines: List[str]
+    parents: Dict[ast.AST, ast.AST] = field(default_factory=dict)
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self.parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        cur = self.parents.get(node)
+        while cur is not None:
+            yield cur
+            cur = self.parents.get(cur)
+
+    def enclosing(self, node: ast.AST, *kinds) -> Optional[ast.AST]:
+        """The nearest ancestor of one of ``kinds`` (or None)."""
+        for anc in self.ancestors(node):
+            if isinstance(anc, kinds):
+                return anc
+        return None
+
+    def finding(self, code: str, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            code=code,
+            path=self.path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+def module_name_for(path: str, lines: Sequence[str]) -> str:
+    """The dotted module name of ``path`` (see the module docstring)."""
+    for text in lines[:5]:
+        m = _MODULE_OVERRIDE_RE.search(text)
+        if m is not None:
+            return m.group(1)
+    norm = path.replace(os.sep, "/")
+    parts = [p for p in norm.split("/") if p not in ("", ".")]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    anchor = None
+    if "src" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("src") + 1
+    elif "repro" in parts:
+        anchor = parts.index("repro")
+    if anchor is None or anchor >= len(parts):
+        return parts[-1] if parts else ""
+    return ".".join(parts[anchor:])
+
+
+def build_parent_map(tree: ast.AST) -> Dict[ast.AST, ast.AST]:
+    parents: Dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories to ``.py`` files, deterministically."""
+    seen: Set[str] = set()
+    for raw in paths:
+        if os.path.isdir(raw):
+            for dirpath, dirnames, filenames in os.walk(raw):
+                dirnames[:] = sorted(
+                    d for d in dirnames if d not in _SKIP_DIRS and not d.startswith(".")
+                )
+                for name in sorted(filenames):
+                    if name.endswith(".py"):
+                        full = os.path.join(dirpath, name)
+                        if full not in seen:
+                            seen.add(full)
+                            yield full
+        elif raw.endswith(".py"):
+            if raw not in seen:
+                seen.add(raw)
+                yield raw
+
+
+def load_context(path: str) -> Tuple[Optional[FileContext], Optional[Finding]]:
+    """Parse ``path``; on syntax errors return an RPR000 finding instead of
+    crashing the whole run."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    lines = source.splitlines()
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return None, Finding(
+            code=META_CODE,
+            path=path,
+            line=exc.lineno or 0,
+            col=exc.offset or 0,
+            message=f"file does not parse: {exc.msg}",
+        )
+    ctx = FileContext(
+        path=path,
+        module=module_name_for(path, lines),
+        tree=tree,
+        lines=lines,
+        parents=build_parent_map(tree),
+    )
+    return ctx, None
+
+
+def analyze_file(path: str, select: Optional[Sequence[str]] = None) -> List[Finding]:
+    """All (selected) rule findings for one file, suppressions applied."""
+    ctx, parse_error = load_context(path)
+    if ctx is None:
+        return [parse_error] if parse_error is not None else []
+    findings: List[Finding] = []
+    for rule in iter_rules(select):
+        findings.extend(rule.check(ctx))
+    findings = apply_suppressions(findings, parse_suppressions(ctx.lines), path)
+    findings.sort(key=lambda f: (f.line, f.col, f.code, f.message))
+    return findings
+
+
+def analyze_paths(
+    paths: Sequence[str],
+    select: Optional[Sequence[str]] = None,
+    baseline: Optional[Set[str]] = None,
+) -> Tuple[List[Finding], int]:
+    """Findings over ``paths`` not grandfathered by ``baseline``; returns
+    ``(findings, baseline_suppressed_count)`` in deterministic order."""
+    baseline = baseline or set()
+    out: List[Finding] = []
+    grandfathered = 0
+    for path in iter_python_files(paths):
+        for f in analyze_file(path, select):
+            if f.fingerprint in baseline:
+                grandfathered += 1
+            else:
+                out.append(f)
+    out.sort(key=lambda f: (f.path, f.line, f.col, f.code, f.message))
+    return out, grandfathered

@@ -1,0 +1,148 @@
+"""RPR003 — layering conformance (the docs/ARCHITECTURE.md import DAG).
+
+The repo's layers, bottom to top::
+
+    exceptions < core < graphs < {policies, enumeration} < sim
+               < {verify, viz} < bench
+
+with two special cases:
+
+* ``sim/reference.py`` is the executable specification — it must stay
+  independent of the event-engine internals (``scheduler``, ``admission``,
+  ``waits_for``) it is the oracle for, otherwise a bug could propagate to
+  both sides of the equivalence suites and cancel out.
+* ``repro.analysis`` / ``repro.lint`` import nothing from the rest of
+  ``repro``: the linter must not be breakable by the code it checks.
+
+The table below encodes *forbidden* prefixes per module prefix (every
+matching rule applies, most specific included).  Relative imports are
+resolved against the file's module name before matching.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .core import Finding, register_rule
+from .engine import FileContext
+
+CODE = "RPR003"
+
+_ANALYSIS_FORBIDDEN = (
+    "repro.exceptions", "repro.core", "repro.graphs", "repro.policies",
+    "repro.enumeration", "repro.sim", "repro.verify", "repro.viz",
+    "repro.bench",
+)
+
+#: (module prefix, forbidden import prefixes).  Every matching row applies.
+LAYER_RULES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
+    ("repro.exceptions", (
+        "repro.core", "repro.graphs", "repro.policies", "repro.enumeration",
+        "repro.sim", "repro.verify", "repro.viz", "repro.bench",
+        "repro.analysis", "repro.lint",
+    )),
+    ("repro.core", (
+        "repro.graphs", "repro.policies", "repro.enumeration", "repro.sim",
+        "repro.verify", "repro.viz", "repro.bench", "repro.analysis",
+        "repro.lint",
+    )),
+    ("repro.graphs", (
+        "repro.policies", "repro.enumeration", "repro.sim", "repro.verify",
+        "repro.viz", "repro.bench", "repro.analysis", "repro.lint",
+    )),
+    ("repro.policies", (
+        "repro.sim", "repro.enumeration", "repro.verify", "repro.viz",
+        "repro.bench", "repro.analysis", "repro.lint",
+    )),
+    ("repro.enumeration", (
+        "repro.sim", "repro.verify", "repro.viz", "repro.bench",
+        "repro.analysis", "repro.lint",
+    )),
+    ("repro.sim", (
+        "repro.verify", "repro.viz", "repro.bench", "repro.analysis",
+        "repro.lint",
+    )),
+    ("repro.sim.reference", (
+        "repro.sim.scheduler", "repro.sim.admission", "repro.sim.waits_for",
+    )),
+    ("repro.verify", ("repro.bench", "repro.viz", "repro.analysis", "repro.lint")),
+    ("repro.viz", ("repro.verify", "repro.bench", "repro.analysis", "repro.lint")),
+    ("repro.bench", ("repro.analysis", "repro.lint")),
+    ("repro.analysis", _ANALYSIS_FORBIDDEN),
+    ("repro.lint", _ANALYSIS_FORBIDDEN),
+)
+
+
+def _matches(module: str, prefix: str) -> bool:
+    return module == prefix or module.startswith(prefix + ".")
+
+
+def _resolve_relative(
+    ctx: FileContext, node: ast.ImportFrom
+) -> Optional[str]:
+    """The absolute module an ``ImportFrom`` refers to (None if the
+    relative import climbs out of the known package)."""
+    if node.level == 0:
+        return node.module
+    parts = ctx.module.split(".") if ctx.module else []
+    is_package = ctx.path.replace("\\", "/").endswith("__init__.py")
+    base = parts if is_package else parts[:-1]
+    climb = node.level - 1
+    if climb > len(base):
+        return None
+    if climb:
+        base = base[:-climb]
+    if node.module:
+        base = base + node.module.split(".")
+    return ".".join(base) if base else None
+
+
+def _imports(ctx: FileContext) -> Iterator[Tuple[ast.AST, str]]:
+    """Every (node, absolute dotted target) imported by the file,
+    including per-alias submodule targets of ``from pkg import name``."""
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield node, alias.name
+        elif isinstance(node, ast.ImportFrom):
+            base = _resolve_relative(ctx, node)
+            if base is None:
+                continue
+            yield node, base
+            for alias in node.names:
+                if alias.name != "*":
+                    yield node, f"{base}.{alias.name}"
+
+
+@register_rule(
+    CODE,
+    "layering",
+    "imports must follow the docs/ARCHITECTURE.md layer DAG",
+)
+def check_layering(ctx: FileContext) -> List[Finding]:
+    forbidden: List[Tuple[str, str]] = []
+    for prefix, banned in LAYER_RULES:
+        if _matches(ctx.module, prefix):
+            forbidden.extend((prefix, b) for b in banned)
+    if not forbidden:
+        return []
+    out: List[Finding] = []
+    seen = set()
+    for node, target in _imports(ctx):
+        for layer, banned in forbidden:
+            if _matches(target, banned):
+                key = (node.lineno, banned)
+                if key in seen:
+                    continue
+                seen.add(key)
+                out.append(
+                    ctx.finding(
+                        CODE,
+                        node,
+                        f"layer '{layer}' must not import '{banned}' "
+                        f"(imports {target})",
+                    )
+                )
+                break
+    return out

@@ -1,0 +1,82 @@
+"""RPR005 — shard safety of the lock table.
+
+The ROADMAP's parallel-shards item will run shard-local lock-table
+operations concurrently.  The precondition it relies on: a method that
+operates on one shard (everything routed through ``_part(entity)``) must
+not read the shard array ``_parts`` directly — cross-shard state may only
+be reached through the declared global indexes (the sorted held index
+``_held`` / ``_waiting_on``), which stay under the single coordinator.
+
+The rule is structural: in any class that defines both a ``_part`` method
+and a ``_parts`` attribute (i.e. a sharded container), reading
+``self._parts`` anywhere except ``__init__`` or ``_part`` itself is
+flagged.  Genuinely global, read-only introspection (e.g. draining every
+shard for a debug snapshot) is suppressed inline with a reason, which
+doubles as the audit trail for the future parallel executor.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .core import Finding, register_rule
+from .engine import FileContext
+
+CODE = "RPR005"
+
+_ROUTER = "_part"
+_SHARD_ARRAY = "_parts"
+_ALLOWED_METHODS = {"__init__", _ROUTER}
+
+
+def _is_sharded_class(cls: ast.ClassDef) -> bool:
+    has_router = any(
+        isinstance(item, ast.FunctionDef) and item.name == _ROUTER
+        for item in cls.body
+    )
+    if not has_router:
+        return False
+    for node in ast.walk(cls):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == _SHARD_ARRAY
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return True
+    return False
+
+
+@register_rule(
+    CODE,
+    "shard-safety",
+    "shard-local methods must not read cross-shard state directly",
+)
+def check_shard_safety(ctx: FileContext) -> List[Finding]:
+    out: List[Finding] = []
+    for cls in ast.walk(ctx.tree):
+        if not (isinstance(cls, ast.ClassDef) and _is_sharded_class(cls)):
+            continue
+        for method in cls.body:
+            if not isinstance(method, ast.FunctionDef):
+                continue
+            if method.name in _ALLOWED_METHODS:
+                continue
+            for node in ast.walk(method):
+                if (
+                    isinstance(node, ast.Attribute)
+                    and node.attr == _SHARD_ARRAY
+                    and isinstance(node.value, ast.Name)
+                    and node.value.id == "self"
+                ):
+                    out.append(
+                        ctx.finding(
+                            CODE,
+                            node,
+                            f"{cls.name}.{method.name} reads the shard array "
+                            f"'{_SHARD_ARRAY}' directly; cross-shard state is "
+                            "only reachable via the global sorted held index",
+                        )
+                    )
+    return out

@@ -13,9 +13,11 @@ multiprocess grid runner and writes the unified BENCH artifact.  Examples::
     python -m repro.bench --list
 
 ``--scale`` shrinks the transaction counts exactly like the benches'
-``BENCH_SMOKE_SCALE``; ``--workers 0`` (default) is the in-process
-reference path, so the same invocation with and without workers must
-produce identical rows.
+``BENCH_SMOKE_SCALE``.  Omitting ``--workers`` runs the in-process
+reference path; ``--workers N`` (N >= 1) fans out to N spawn processes,
+and the same invocation with and without workers must produce identical
+rows.  Explicit ``--workers``/``--seeds``/``--shards`` values below 1 are
+rejected at parse time.
 """
 
 from __future__ import annotations
@@ -149,12 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="grid preset to run",
     )
     parser.add_argument(
-        "--workers", type=int, default=0,
-        help="worker processes (0 = in-process reference path)",
+        "--workers", type=_positive_int, default=0,
+        help="worker processes, >= 1 (omit for the in-process reference path)",
     )
     parser.add_argument(
-        "--seeds", type=int, default=None,
-        help="override the preset's seed count with range(N)",
+        "--seeds", type=_positive_int, default=None,
+        help="override the preset's seed count with range(N), N >= 1",
     )
     parser.add_argument(
         "--scale", type=float, default=1.0,

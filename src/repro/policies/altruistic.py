@@ -66,7 +66,7 @@ class AltruisticContext(PolicyContext):
         session = AltruisticSession(
             name, self, intents, donate_immediately=self.donate_immediately
         )
-        self.sessions[name] = session
+        self.sessions[name] = session  # repro: noqa[RPR002] a fresh session has donated nothing and reached no locked point, so no AL2 verdict can change
         return session
 
     def active_donors(self, exclude: str) -> List["AltruisticSession"]:

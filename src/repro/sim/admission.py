@@ -36,9 +36,7 @@ releases without re-classifying them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import (
-    TYPE_CHECKING,
     Dict,
     Hashable,
     Iterable,
@@ -51,44 +49,19 @@ from typing import (
 from ..core.steps import Entity
 from ..policies.base import Admission, PolicySession
 from .lock_table import LockTable
+from .live import LOCK_WAIT, NEW, POLICY_WAIT, RUNNABLE, LiveEntry
 from .metrics import Metrics, TxnRecord
 from .waits_for import WaitsForGraph
 
-if TYPE_CHECKING:  # pragma: no cover - type-only, avoids an import cycle
-    from .scheduler import WorkloadItem
-
-# Cached classification states of one live session (event engine).
-NEW = "new"
-RUNNABLE = "runnable"
-LOCK_WAIT = "lock-wait"
-POLICY_WAIT = "policy-wait"
-
-
-@dataclass
-class LiveEntry:
-    """One live session's scheduling state (both engines)."""
-
-    item: "WorkloadItem"
-    session: PolicySession
-    record: TxnRecord
-    attempt: int = 1
-    step_count: int = 0
-    #: Admission order; stable across restarts so the commit scan visits
-    #: sessions exactly as the naive engine's insertion-order scan does.
-    seq: int = 0
-    #: Cached classification (event engine).
-    state: str = NEW
-    #: Entity whose pending lock this (runnable) session is watching.
-    watch_entity: Optional[Entity] = None
-    #: Last tick for which blocked-time accounting has been recorded.
-    accrued_to: int = -1
-    #: Classification must evaluate the policy admission() verdict (the
-    #: session is dynamic or overrides admission).
-    needs_admission: bool = False
-    #: The session declares invalidation channels (admission_dependencies
-    #: is not None): it joins the event-driven engine and is re-examined
-    #: on channel notifications instead of every tick.
-    tracks_deps: bool = False
+__all__ = [
+    "AdmissionCache",
+    "Classifier",
+    "LiveEntry",
+    "NEW",
+    "RUNNABLE",
+    "LOCK_WAIT",
+    "POLICY_WAIT",
+]
 
 
 class AdmissionCache:
@@ -176,7 +149,7 @@ class AdmissionCache:
             subs = self.channel_subs.get(ch)
             if not subs:
                 continue
-            for n in subs:
+            for n in subs:  # repro: noqa[RPR001] set-membership adds plus a counter; order-insensitive
                 if n in self._live and n not in self.dirty:
                     self.dirty.add(n)
                     m.invalidations += 1
@@ -223,7 +196,7 @@ class AdmissionCache:
         """Sessions phase 1 must peek this tick (drains ``phase1``); the
         caller sorts by admission order."""
         live = self._live
-        candidates = [
+        candidates = [  # repro: noqa[RPR001] the caller sorts candidates by admission seq
             n for n in self.complete | self.dynamic | self.phase1 if n in live
         ]
         self.phase1.clear()
@@ -233,7 +206,7 @@ class AdmissionCache:
         """Sessions phase 2 must re-classify this tick, sorted (drains
         ``dirty``; every-tick dynamic sessions are always included)."""
         live = self._live
-        check = [
+        check = [  # repro: noqa[RPR001] sorted before return
             n
             for n in self.dirty | self.dynamic
             if n in live and n not in self.complete

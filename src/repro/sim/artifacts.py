@@ -26,11 +26,38 @@ across PRs:
 from __future__ import annotations
 
 import json
+from collections.abc import Mapping
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Union
 
 #: Bump when the payload layout changes incompatibly.
 SCHEMA_VERSION = 1
+
+#: Row keys that may legitimately be absent from some rows of one
+#: artifact (work counters exist only for cells that measured them).
+OPTIONAL_ROW_KEYS = frozenset({"work"})
+
+
+def _validate_rows(rows: Sequence[Dict[str, object]]) -> None:
+    """Artifact rows must be string-keyed mappings with one shared key set
+    (modulo :data:`OPTIONAL_ROW_KEYS`) — a ragged table silently breaks
+    the cross-PR perf comparison the unified schema exists for."""
+    for i, row in enumerate(rows):
+        if not isinstance(row, Mapping):
+            raise TypeError(f"row {i} is not a mapping: {type(row).__name__}")
+        bad = [k for k in row if not isinstance(k, str)]
+        if bad:
+            raise TypeError(f"row {i} has non-string key(s): {bad!r}")
+    if not rows:
+        return
+    base = set(rows[0]) - OPTIONAL_ROW_KEYS
+    for i, row in enumerate(rows):
+        keys = set(row) - OPTIONAL_ROW_KEYS
+        if keys != base:
+            raise ValueError(
+                f"row {i} keys {sorted(keys)} do not match row 0 keys "
+                f"{sorted(base)}"
+            )
 
 
 def bench_artifact(
@@ -42,7 +69,12 @@ def bench_artifact(
     wall_s: Optional[float] = None,
     extra: Optional[Dict[str, object]] = None,
 ) -> Dict[str, object]:
-    """Assemble the unified artifact payload (see the module docstring)."""
+    """Assemble the unified artifact payload (see the module docstring).
+
+    Raises ``TypeError``/``ValueError`` for rows that are not string-keyed
+    mappings sharing one key set (see :func:`_validate_rows`).
+    """
+    _validate_rows(rows)
     payload: Dict[str, object] = {
         "bench": bench,
         "schema": SCHEMA_VERSION,

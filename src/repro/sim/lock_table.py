@@ -257,5 +257,5 @@ class LockTable:
 
     def locked_entities(self) -> FrozenSet[Entity]:
         return frozenset(
-            entity for part in self._parts for entity in part.holders
+            entity for part in self._parts for entity in part.holders  # repro: noqa[RPR005] read-only whole-table introspection for tests; never on a shard-local path
         )

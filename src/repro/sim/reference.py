@@ -17,7 +17,7 @@ from typing import Dict, List, Set, Tuple
 
 from ..exceptions import PolicyViolation, SimulationError
 from ..policies.base import Admission
-from .admission import LiveEntry
+from .live import LiveEntry
 from .deadlock import find_cycle_counted, pick_victim
 from .event_log import truncated
 

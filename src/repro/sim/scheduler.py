@@ -41,7 +41,8 @@ from ..core.schedules import Event, Schedule
 from ..core.states import StructuralState
 from ..exceptions import PolicyViolation, SimulationError
 from ..policies.base import Intent, LockingPolicy, PolicyContext, PolicySession
-from .admission import AdmissionCache, Classifier, LiveEntry
+from .admission import AdmissionCache, Classifier
+from .live import LiveEntry
 from .deadlock import (  # _find_cycle re-exported for tests/oracle use
     find_cycle as _find_cycle,
     pick_victim,

@@ -101,7 +101,7 @@ class WaitsForGraph:
         old = self.waits_for.get(name)
         self.waits_for[name] = blockers
         if old:
-            for b in old - blockers:
+            for b in old - blockers:  # repro: noqa[RPR001] independent per-edge removals from the reverse index
                 self._drop_reverse(b, name)
             added = blockers - old
             if old != blockers:
@@ -109,7 +109,7 @@ class WaitsForGraph:
         else:
             added = blockers
             self._touch(name, new_key=old is None)
-        for b in added:
+        for b in added:  # repro: noqa[RPR001] independent per-edge inserts into the reverse index
             self.blocked_by.setdefault(b, set()).add(name)
         if added:
             self._dirty.add(name)
@@ -130,7 +130,7 @@ class WaitsForGraph:
         Pure removal — certificates survive."""
         old = self.waits_for.pop(name, None)
         if old is not None:
-            for b in old:
+            for b in old:  # repro: noqa[RPR001] independent per-edge removals from the reverse index
                 self._drop_reverse(b, name)
             self._touch(name)
 
@@ -141,7 +141,7 @@ class WaitsForGraph:
         waiters = self.blocked_by.pop(name, None)
         if not waiters:
             return set()
-        for w in waiters:
+        for w in waiters:  # repro: noqa[RPR001] independent per-waiter edge drops; caller gets the full set
             edges = self.waits_for.get(w)
             if edges is not None and name in edges:
                 edges.discard(name)
@@ -177,13 +177,13 @@ class WaitsForGraph:
             return
         if self._clean:
             seen: Set[str] = set()
-            work: List[str] = list(self._dirty)
+            work: List[str] = list(self._dirty)  # repro: noqa[RPR001] pure-reachability worklist; result is a set difference
             while work:
                 n = work.pop()
                 if n in seen:
                     continue
                 seen.add(n)
-                work.extend(self.blocked_by.get(n, ()))
+                work.extend(self.blocked_by.get(n, ()))  # repro: noqa[RPR001] pure-reachability worklist; result is a set difference
             self._clean -= seen
         self._dirty.clear()
 

@@ -1,0 +1,17 @@
+# repro-lint-module: repro.sim.fixture_rpr001_bad
+"""RPR001-positive fixture: one of each determinism hazard."""
+
+import random
+import time
+
+WATCHERS = {"a", "b", "c"}
+
+
+def schedule_order(live):
+    out = []
+    for name in WATCHERS:  # unsorted set iteration
+        out.append(name)
+    ranked = sorted(live, key=lambda s: id(s))  # ordering via id()
+    stamp = time.time()  # wall-clock read outside the bench allowlist
+    pick = random.choice(ranked)  # module-level random state
+    return out, pick, stamp

@@ -1,0 +1,16 @@
+# repro-lint-module: repro.sim.fixture_rpr001_good
+"""RPR001-negative fixture: the same shapes done deterministically."""
+
+import random
+
+WATCHERS = {"a", "b", "c"}
+
+
+def schedule_order(live, seed):
+    out = []
+    for name in sorted(WATCHERS):
+        out.append(name)
+    rng = random.Random(seed)
+    pick = rng.choice(sorted(live))
+    busy = any(w.startswith("a") for w in WATCHERS)
+    return out, pick, busy and "b" in WATCHERS

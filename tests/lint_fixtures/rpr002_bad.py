@@ -1,0 +1,20 @@
+# repro-lint-module: repro.policies.fixture_rpr002_bad
+"""RPR002-positive fixture: declared dependency state mutated silently."""
+
+
+class BadSession:
+    def __init__(self, name, context):
+        self.name = name
+        self.context = context
+
+    def admission_dependencies(self):
+        return tuple(("item", i) for i in sorted(self.context.items))
+
+    def admission(self):
+        if self.name in self.context.items:
+            return "wait"
+        return "proceed"
+
+    def executed(self):
+        # Changes other sessions' admission verdicts but never notifies.
+        self.context.items.add(self.name)

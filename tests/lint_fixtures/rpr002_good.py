@@ -1,0 +1,20 @@
+# repro-lint-module: repro.policies.fixture_rpr002_good
+"""RPR002-negative fixture: every mutation is paired with a notification."""
+
+
+class GoodSession:
+    def __init__(self, name, context):
+        self.name = name
+        self.context = context
+
+    def admission_dependencies(self):
+        return tuple(("item", i) for i in sorted(self.context.items))
+
+    def admission(self):
+        if self.name in self.context.items:
+            return "wait"
+        return "proceed"
+
+    def executed(self):
+        self.context.items.add(self.name)
+        self.context.notify_changed((("item", self.name),))

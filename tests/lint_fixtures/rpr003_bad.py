@@ -1,0 +1,8 @@
+# repro-lint-module: repro.policies.fixture_rpr003_bad
+"""RPR003-positive fixture: a policy reaching into the event engine."""
+
+from repro.sim.scheduler import Simulator
+
+
+def peek(sim):
+    return isinstance(sim, Simulator)

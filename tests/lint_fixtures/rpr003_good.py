@@ -1,0 +1,9 @@
+# repro-lint-module: repro.policies.fixture_rpr003_good
+"""RPR003-negative fixture: a policy using only the layers below it."""
+
+from repro.core.steps import Entity
+from repro.graphs.digraph import DiGraph
+
+
+def touch(graph: DiGraph, entity: Entity):
+    return entity in graph

@@ -1,0 +1,18 @@
+# repro-lint-module: repro.sim.fixture_rpr005_bad
+"""RPR005-positive fixture: a shard-local method peeking across shards."""
+
+
+class ShardedTable:
+    def __init__(self, shards):
+        self._parts = [dict() for _ in range(shards)]
+
+    def _part(self, entity):
+        return self._parts[hash(entity) % len(self._parts)]
+
+    def acquire(self, entity, txn):
+        part = self._part(entity)
+        for other in self._parts:  # cross-shard read on a shard-local path
+            if entity in other:
+                return False
+        part[entity] = txn
+        return True

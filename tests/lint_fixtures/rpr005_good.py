@@ -1,0 +1,20 @@
+# repro-lint-module: repro.sim.fixture_rpr005_good
+"""RPR005-negative fixture: shard access routed through _part and the
+global held index only."""
+
+
+class ShardedTable:
+    def __init__(self, shards):
+        self._parts = [dict() for _ in range(shards)]
+        self._held = {}
+
+    def _part(self, entity):
+        return self._parts[hash(entity) % len(self._parts)]
+
+    def acquire(self, entity, txn):
+        part = self._part(entity)
+        if entity in part:
+            return False
+        part[entity] = txn
+        self._held.setdefault(txn, []).append(entity)
+        return True

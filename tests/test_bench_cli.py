@@ -57,3 +57,35 @@ class TestPresets:
              "--scale", "0.1"]
         )
         assert (args.workers, args.engine, args.scale) == (2, "naive", 0.1)
+
+
+class TestArgValidation:
+    """Explicit ``--workers``/``--seeds`` below 1 are parse-time errors
+    (the same ``_positive_int`` treatment ``--shards`` already gets);
+    omitting ``--workers`` still selects the in-process reference path."""
+
+    @pytest.mark.parametrize("flag", ["--workers", "--seeds", "--shards"])
+    @pytest.mark.parametrize("value", ["0", "-1", "-8"])
+    def test_non_positive_values_rejected_at_parse_time(
+        self, capsys, flag, value
+    ):
+        with pytest.raises(SystemExit) as exc:
+            bench.build_parser().parse_args(["stress", flag, value])
+        assert exc.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    @pytest.mark.parametrize("flag", ["--workers", "--seeds"])
+    def test_non_integer_values_rejected(self, capsys, flag):
+        with pytest.raises(SystemExit):
+            bench.build_parser().parse_args(["stress", flag, "two"])
+
+    def test_defaults_survive_validation(self):
+        args = bench.build_parser().parse_args(["stress"])
+        assert args.workers == 0  # in-process reference path
+        assert args.seeds is None  # preset's own seed tuple
+
+    def test_positive_values_accepted(self):
+        args = bench.build_parser().parse_args(
+            ["stress", "--workers", "3", "--seeds", "5"]
+        )
+        assert (args.workers, args.seeds) == (3, 5)

@@ -1,0 +1,181 @@
+"""The ``repro.lint`` static-analysis subsystem: rule fixtures, the
+suppression/baseline machinery, the CLI surface, and the fixture-injection
+guard the CI lint job relies on."""
+
+import json
+import os
+import shutil
+
+import pytest
+
+from repro.analysis import analyze_file, analyze_paths, load_baseline
+from repro.analysis.cli import main as lint_main
+from repro.analysis.core import all_rules
+from repro.analysis.engine import module_name_for
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(HERE)
+FIXTURES = os.path.join(HERE, "lint_fixtures")
+
+RULE_CODES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+
+
+def fixture(name):
+    return os.path.join(FIXTURES, name)
+
+
+def codes_in(path):
+    return {f.code for f in analyze_file(path)}
+
+
+class TestRuleFixtures:
+    """Each rule has one fixture that triggers it and one that does not."""
+
+    @pytest.mark.parametrize("code", RULE_CODES)
+    def test_positive_fixture_triggers_exactly_its_rule(self, code):
+        found = codes_in(fixture(f"{code.lower()}_bad.py"))
+        assert found == {code}
+
+    @pytest.mark.parametrize("code", RULE_CODES)
+    def test_negative_fixture_is_clean(self, code):
+        assert analyze_file(fixture(f"{code.lower()}_good.py")) == []
+
+    def test_rpr001_covers_all_four_hazards(self):
+        messages = " | ".join(
+            f.message for f in analyze_file(fixture("rpr001_bad.py"))
+        )
+        assert "iteration over a set" in messages
+        assert "random.choice" in messages
+        assert "wall-clock read" in messages
+        assert "id()" in messages
+
+    def test_registry_has_exactly_the_documented_rules(self):
+        assert set(all_rules()) == set(RULE_CODES)
+
+
+class TestSuppressions:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "frag.py"
+        path.write_text(text)
+        return str(path)
+
+    def test_noqa_with_reason_suppresses(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "# repro-lint-module: repro.sim.frag\n"
+            "S = {1, 2}\n"
+            "OUT = [x for x in S]  # repro: noqa[RPR001] order never observed\n",
+        )
+        assert analyze_file(path) == []
+
+    def test_noqa_without_reason_is_rpr000(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "# repro-lint-module: repro.sim.frag\n"
+            "S = {1, 2}\n"
+            "OUT = [x for x in S]  # repro: noqa[RPR001]\n",
+        )
+        assert {f.code for f in analyze_file(path)} == {"RPR000"}
+
+    def test_noqa_for_other_code_does_not_suppress(self, tmp_path):
+        path = self._write(
+            tmp_path,
+            "# repro-lint-module: repro.sim.frag\n"
+            "S = {1, 2}\n"
+            "OUT = [x for x in S]  # repro: noqa[RPR005] wrong code entirely\n",
+        )
+        assert "RPR001" in {f.code for f in analyze_file(path)}
+
+    def test_syntax_error_reports_rpr000_instead_of_crashing(self, tmp_path):
+        path = self._write(tmp_path, "def broken(:\n")
+        findings = analyze_file(path)
+        assert [f.code for f in findings] == ["RPR000"]
+        assert "does not parse" in findings[0].message
+
+
+class TestModuleNames:
+    def test_derived_from_src_layout(self):
+        assert (
+            module_name_for("src/repro/sim/scheduler.py", []) == "repro.sim.scheduler"
+        )
+        assert module_name_for("src/repro/sim/__init__.py", []) == "repro.sim"
+
+    def test_override_comment_wins(self):
+        lines = ["# repro-lint-module: repro.policies.synthetic"]
+        assert module_name_for("anywhere/at/all.py", lines) == "repro.policies.synthetic"
+
+
+class TestBaseline:
+    def test_baseline_grandfathers_then_new_findings_fail(self, tmp_path):
+        src = tmp_path / "tree"
+        src.mkdir()
+        shutil.copy(fixture("rpr005_bad.py"), src / "rpr005_bad.py")
+        baseline = tmp_path / "baseline.json"
+
+        assert lint_main(
+            [str(src), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        assert len(load_baseline(str(baseline))) == 1
+        assert lint_main([str(src), "--baseline", str(baseline)]) == 0
+
+        shutil.copy(fixture("rpr003_bad.py"), src / "rpr003_bad.py")
+        assert lint_main([str(src), "--baseline", str(baseline)]) == 1
+
+    def test_committed_baseline_has_no_sim_or_policies_entries(self):
+        fps = load_baseline(os.path.join(REPO_ROOT, "lint_baseline.json"))
+        offenders = [
+            fp for fp in fps if "/sim/" in fp or "/policies/" in fp
+        ]
+        assert offenders == []
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert lint_main(["src"]) == 0
+
+    def test_json_format_shape(self, capsys):
+        rc = lint_main(
+            [fixture("rpr003_bad.py"), "--format", "json", "--no-baseline"]
+        )
+        assert rc == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["counts"] == {"RPR003": 1}
+        (finding,) = doc["findings"]
+        assert finding["code"] == "RPR003"
+        assert finding["line"] == 4
+
+    def test_select_filters_rules(self, capsys):
+        rc = lint_main(
+            [fixture("rpr001_bad.py"), "--select", "RPR003", "--no-baseline"]
+        )
+        assert rc == 0
+
+    def test_unknown_select_is_usage_error(self, capsys):
+        assert lint_main([fixture("rpr001_bad.py"), "--select", "RPR999"]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULE_CODES:
+            assert code in out
+
+
+class TestInjectionGuard:
+    """The CI lint job's smoke test in miniature: dropping a known-bad
+    fixture into an otherwise-clean tree must fail the gate (guards
+    against the linter silently passing everything)."""
+
+    def test_injected_violation_fails_a_clean_tree(self, tmp_path):
+        tree = tmp_path / "src" / "repro" / "sim"
+        tree.mkdir(parents=True)
+        (tree / "clean.py").write_text(
+            '"""A clean module."""\n\nVALUE = sorted({1, 2, 3})\n'
+        )
+        assert lint_main([str(tmp_path / "src"), "--no-baseline"]) == 0
+
+        shutil.copy(fixture("rpr001_bad.py"), tree / "injected.py")
+        assert lint_main([str(tmp_path / "src"), "--no-baseline"]) == 1
+        findings, _ = analyze_paths([str(tmp_path / "src")])
+        assert {f.code for f in findings} == {"RPR001"}
