@@ -13,7 +13,9 @@ as machine-checked contracts:
   (``admission_dependencies`` vs ``notify_changed``);
 * **RPR003** — layering (the docs/ARCHITECTURE.md import DAG);
 * **RPR004** — spawn safety (grid specs must be picklable);
-* **RPR005** — shard safety (no cross-shard reads on shard-local paths).
+* **RPR005** — shard safety (no cross-shard reads on shard-local paths);
+* **RPR006** — phase purity (shard-phase callables write only their
+  per-shard buffer; the merge barrier's static precondition).
 
 Run as ``python -m repro.lint [paths] [--format human|json]``.  This package
 imports nothing from the rest of ``repro`` (enforced by RPR003 on itself),
@@ -38,6 +40,7 @@ from . import invalidation  # noqa: F401  (registration import)
 from . import layering  # noqa: F401  (registration import)
 from . import spawn_safety  # noqa: F401  (registration import)
 from . import shard_safety  # noqa: F401  (registration import)
+from . import phase_purity  # noqa: F401  (registration import)
 
 __all__ = [
     "Finding",

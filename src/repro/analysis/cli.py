@@ -23,7 +23,7 @@ DEFAULT_BASELINE = "lint_baseline.json"
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="Project-specific static analysis (RPR001-RPR005).",
+        description="Project-specific static analysis (RPR001-RPR006).",
     )
     parser.add_argument(
         "paths",

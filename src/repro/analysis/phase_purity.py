@@ -1,0 +1,206 @@
+"""RPR006 — phase purity of shard-phase callables.
+
+The parallel executor (:mod:`repro.sim.executor`) fans the classify
+phase's shard-local slices out to worker threads and merges at a
+deterministic barrier.  The whole determinism argument rests on one
+static precondition: code that runs on a worker — any callable decorated
+``@shard_phase`` — must be *pure* with respect to global scheduler state.
+It may read the frozen phase inputs it is handed and write **only** its
+per-shard buffer; any other mutation (or any read of ``_Run``/cache/
+graph/metrics attributes) races with the coordinator or with sibling
+workers and silently breaks byte-identical replay.
+
+The rule is structural, like RPR005: inside every function decorated
+``shard_phase`` (bare name or attribute, with or without call parens),
+
+* any attribute access naming a known global-state attribute
+  (``cache``, ``graph``, ``metrics``, ``table``, ``dirty``,
+  ``runnable``, ``watchers``, ...) is flagged — shard-phase code has no
+  business reaching into the scheduler's layers, not even to read;
+* any assignment / augmented assignment through an attribute or
+  subscript whose root is neither a local variable nor a buffer
+  parameter is flagged;
+* any mutating method call (``add``, ``append``, ``update``,
+  ``pop``, ...) whose receiver root is neither local nor a buffer
+  parameter is flagged.
+
+Buffer parameters are recognised by name: ``buf``, ``buffer``, or any
+parameter ending in ``_buf``/``_buffer`` — the per-shard buffer API is
+the one sanctioned write target.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from .core import Finding, register_rule
+from .engine import FileContext
+
+CODE = "RPR006"
+
+_DECORATOR = "shard_phase"
+
+#: Scheduler-layer attribute names a shard-phase callable must not touch
+#: (read or write): reaching any of these means the callable navigated
+#: into global ``_Run``/cache/graph state instead of its frozen inputs.
+_GLOBAL_STATE_ATTRS = {
+    "cache",
+    "graph",
+    "metrics",
+    "table",
+    "dirty",
+    "runnable",
+    "watchers",
+    "complete",
+    "phase1",
+    "channel_subs",
+    "session_subs",
+    "waits_for",
+    "blocked_by",
+}
+
+#: Method names that mutate their receiver.
+_MUTATORS = {
+    "add",
+    "append",
+    "appendleft",
+    "clear",
+    "discard",
+    "extend",
+    "insert",
+    "pop",
+    "popleft",
+    "remove",
+    "setdefault",
+    "update",
+}
+
+
+def _is_shard_phase(fn: ast.FunctionDef) -> bool:
+    for dec in fn.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == _DECORATOR:
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == _DECORATOR:
+            return True
+    return False
+
+
+def _buffer_params(fn: ast.FunctionDef) -> Set[str]:
+    names = [a.arg for a in fn.args.args + fn.args.kwonlyargs]
+    return {
+        n
+        for n in names
+        if n in ("buf", "buffer") or n.endswith(("_buf", "_buffer"))
+    }
+
+
+def _local_names(fn: ast.FunctionDef) -> Set[str]:
+    """Names bound inside the function body (assignment targets, loop
+    variables, ``with ... as``, walrus, comprehension targets)."""
+    out: Set[str] = set()
+
+    def bind(target: ast.AST) -> None:
+        # Only direct name bindings count: `run.live[x] = 1` binds
+        # nothing (the root `run` stays non-local and gets flagged).
+        if isinstance(target, ast.Name):
+            out.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                bind(elt)
+        elif isinstance(target, ast.Starred):
+            bind(target.value)
+
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                bind(t)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            bind(node.target)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bind(node.target)
+        elif isinstance(node, ast.NamedExpr):
+            bind(node.target)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bind(item.optional_vars)
+        elif isinstance(node, ast.comprehension):
+            bind(node.target)
+    return out
+
+
+def _root_name(node: ast.AST) -> object:
+    """The leftmost name of an attribute/subscript chain, or None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+@register_rule(
+    CODE,
+    "phase-purity",
+    "shard-phase callables may only write their per-shard buffer",
+)
+def check_phase_purity(ctx: FileContext) -> List[Finding]:
+    out: List[Finding] = []
+    for fn in ast.walk(ctx.tree):
+        if not (isinstance(fn, ast.FunctionDef) and _is_shard_phase(fn)):
+            continue
+        buffers = _buffer_params(fn)
+        locals_ = _local_names(fn)
+
+        def sanctioned(root: object) -> bool:
+            return root is not None and (root in buffers or root in locals_)
+
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Attribute)
+                and node.attr in _GLOBAL_STATE_ATTRS
+            ):
+                out.append(
+                    ctx.finding(
+                        CODE,
+                        node,
+                        f"shard-phase callable '{fn.name}' touches global "
+                        f"scheduler state '.{node.attr}'; workers may only "
+                        "read frozen phase inputs and write their per-shard "
+                        "buffer",
+                    )
+                )
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = (
+                    node.targets if isinstance(node, ast.Assign)
+                    else [node.target]
+                )
+                for t in targets:
+                    if not isinstance(t, (ast.Attribute, ast.Subscript)):
+                        continue
+                    if not sanctioned(_root_name(t)):
+                        out.append(
+                            ctx.finding(
+                                CODE,
+                                t,
+                                f"shard-phase callable '{fn.name}' assigns "
+                                "through a non-local, non-buffer target; "
+                                "route results through the per-shard buffer",
+                            )
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _MUTATORS
+            ):
+                if not sanctioned(_root_name(node.func.value)):
+                    out.append(
+                        ctx.finding(
+                            CODE,
+                            node,
+                            f"shard-phase callable '{fn.name}' calls mutator "
+                            f"'.{node.func.attr}()' on a non-local, "
+                            "non-buffer receiver; route results through the "
+                            "per-shard buffer",
+                        )
+                    )
+    return out

@@ -16,8 +16,19 @@ multiprocess grid runner and writes the unified BENCH artifact.  Examples::
 ``BENCH_SMOKE_SCALE``.  Omitting ``--workers`` runs the in-process
 reference path; ``--workers N`` (N >= 1) fans out to N spawn processes,
 and the same invocation with and without workers must produce identical
-rows.  Explicit ``--workers``/``--seeds``/``--shards`` values below 1 are
+rows.  ``--shard-workers N`` selects the in-run parallel classify
+executor (0 = the serial reference; rows stay byte-identical at any
+count).  Explicit ``--workers``/``--seeds``/``--shards`` values below 1,
+non-positive ``--scale`` values, and negative ``--shard-workers`` are
 rejected at parse time.
+
+Besides the grid presets there are *special* benches with their own
+sweep logic; ``parallel_shards`` sweeps shards × shard_workers over an
+upscaled mega-stress workload, asserts every configuration is
+byte-identical to the serial shards=1 reference, and writes
+``BENCH_parallel_shards.json`` with per-phase work counters (per-shard
+classify counts, barrier waits, cross-shard spills) alongside
+``wall_s``.
 """
 
 from __future__ import annotations
@@ -33,9 +44,11 @@ from .sim import (
     CellResult,
     GridSpec,
     PolicySpec,
+    Simulator,
     WorkloadSpec,
     cell_rows_with_work,
     format_table,
+    grid_factory,
     grid_factory_names,
     run_grid,
     write_bench_artifact,
@@ -50,6 +63,23 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """Parse-time twin of :func:`_positive_int` for ``--scale``: a zero or
+    negative scale used to clamp silently to the 50-txn floor (``not
+    value > 0`` also rejects NaN)."""
+    value = float(text)
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {value}")
     return value
 
 
@@ -140,6 +170,117 @@ _COLUMNS = [
     "ticks", "committed", "throughput", "mean_latency", "wait_fraction",
 ]
 
+#: (shards, shard_workers) configurations the parallel_shards bench
+#: sweeps; the first entry is the serial single-partition reference every
+#: other configuration must reproduce byte-identically.
+_PARALLEL_SWEEP = ((1, 0), (4, 0), (4, 2), (8, 0), (8, 2), (8, 4))
+
+_PARALLEL_COLUMNS = [
+    "shards", "shard_workers", "wall_s",
+    "ticks", "committed", "throughput", "mean_latency", "wait_fraction",
+]
+
+
+def _run_parallel_shards(args: argparse.Namespace) -> int:
+    """The parallel-executor bench: mega_stress scaled up, swept over
+    shards × shard_workers, with every configuration asserted
+    byte-identical to the serial shards=1 reference and the executors'
+    per-phase work counters recorded per row.
+
+    Honest numbers note: the parallel executor fans out *pure Python*
+    derivations to threads, so under the GIL the parallel rows are
+    expected to cost more wall clock than serial at the same shard count
+    — the per-shard classify counts and spill fractions are the figures
+    that matter (they prove the partitioning), and the wall clock is the
+    standing record of what thread fan-out buys (or costs) until a
+    process- or subinterpreter-backed executor lands."""
+    scale = args.scale
+    sweep = [
+        (shards, workers)
+        for shards, workers in _PARALLEL_SWEEP
+        if args.shard_workers is None or workers in (0, args.shard_workers)
+    ]
+    items, initial, context_kwargs = grid_factory("stress")(
+        0,
+        num_entities=12_000,
+        num_txns=_scaled(8000, scale),
+        arrival_rate=0.085,
+        hot_fraction=0.0,
+    )
+    rows: List[Dict[str, object]] = []
+    reference = None
+    start = time.perf_counter()
+    for shards, workers in sweep:
+        sim = Simulator(
+            TwoPhasePolicy(),
+            seed=0,
+            max_ticks=20_000_000,
+            context_kwargs=context_kwargs,
+            engine="event",
+            lock_shards=shards,
+            shard_workers=workers,
+        )
+        t0 = time.perf_counter()
+        result = sim.run(items, initial)
+        wall = time.perf_counter() - t0
+        summary = result.metrics.summary()
+        outcome = (
+            summary,
+            result.metrics.work_summary(),
+            result.committed,
+            result.aborted,
+            tuple(result.metrics.deadlock_victims),
+        )
+        if reference is None:
+            reference = outcome
+        elif outcome != reference:
+            raise SystemExit(
+                f"parallel_shards: shards={shards} shard_workers={workers} "
+                f"diverged from the serial shards=1 reference"
+            )
+        row: Dict[str, object] = {
+            "shards": shards,
+            "shard_workers": workers,
+            "wall_s": round(wall, 4),
+        }
+        row.update({
+            k: round(summary[k], 4)
+            for k in (
+                "ticks", "committed", "throughput",
+                "mean_latency", "wait_fraction",
+            )
+        })
+        row["work"] = result.executor_stats
+        rows.append(row)
+        print(f"  shards={shards} shard_workers={workers}: {wall:.2f}s "
+              f"(sharded={result.executor_stats['sharded_classifications']}, "
+              f"spill={result.executor_stats['spill_classifications']}, "
+              f"barriers={result.executor_stats['barrier_waits']})")
+    total = time.perf_counter() - start
+    print(format_table(rows, _PARALLEL_COLUMNS))
+    print(f"\n{len(rows)} configurations in {total:.2f}s "
+          f"(byte-identical to the serial shards=1 reference)")
+    out = args.out or "BENCH_parallel_shards.json"
+    write_bench_artifact(
+        out, "parallel_shards", rows,
+        scale=scale, workers=0, wall_s=total,
+        extra={
+            "engine": "event",
+            "num_txns": _scaled(8000, scale),
+            "num_entities": 12_000,
+            "sweep": [list(pair) for pair in sweep],
+        },
+    )
+    print(f"artifact: {out}")
+    return 0
+
+
+#: Benches with their own sweep logic (not GridSpec presets); they share
+#: the CLI surface (``--scale``, ``--shard-workers``, ``--out``).
+SPECIAL_BENCHES: Dict[str, Callable[[argparse.Namespace], int]] = {
+    "parallel_shards": _run_parallel_shards,
+}
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -147,8 +288,8 @@ def build_parser() -> argparse.ArgumentParser:
         description="Run a (policy × workload × seed) experiment grid.",
     )
     parser.add_argument(
-        "preset", nargs="?", choices=sorted(PRESETS),
-        help="grid preset to run",
+        "preset", nargs="?", choices=sorted([*PRESETS, *SPECIAL_BENCHES]),
+        help="grid preset or special bench to run",
     )
     parser.add_argument(
         "--workers", type=_positive_int, default=0,
@@ -159,8 +300,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="override the preset's seed count with range(N), N >= 1",
     )
     parser.add_argument(
-        "--scale", type=float, default=1.0,
-        help="shrink transaction counts (like BENCH_SMOKE_SCALE)",
+        "--scale", type=_positive_float, default=1.0,
+        help="shrink transaction counts (like BENCH_SMOKE_SCALE); must be > 0",
     )
     parser.add_argument(
         "--engine", choices=("event", "naive"), default=None,
@@ -174,6 +315,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=_positive_int, default=None,
         help="override the lock-table shard count (rows are byte-identical "
              "at any count; 1 is the single-partition reference)",
+    )
+    parser.add_argument(
+        "--shard-workers", type=_nonnegative_int, default=None,
+        help="in-run classify-phase shard workers (0 = serial reference; "
+             "rows are byte-identical at any count; for parallel_shards "
+             "this filters the sweep to workers in {0, N})",
     )
     parser.add_argument(
         "--out", default=None,
@@ -190,10 +337,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list:
         print("presets:   ", ", ".join(sorted(PRESETS)))
+        print("special:   ", ", ".join(sorted(SPECIAL_BENCHES)))
         print("factories: ", ", ".join(grid_factory_names()))
         return 0
     if args.preset is None:
         build_parser().error("a preset is required (or --list)")
+    if args.preset in SPECIAL_BENCHES:
+        return SPECIAL_BENCHES[args.preset](args)
     spec = PRESETS[args.preset](args.scale)
     overrides: Dict[str, object] = {}
     if args.seeds is not None:
@@ -204,6 +354,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["max_ticks"] = args.max_ticks
     if args.shards is not None:
         overrides["lock_shards"] = args.shards
+    if args.shard_workers is not None:
+        overrides["shard_workers"] = args.shard_workers
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
 
@@ -227,6 +379,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "engine": spec.engine,
             "seeds": list(spec.seeds),
             "lock_shards": spec.lock_shards,
+            "shard_workers": spec.shard_workers,
         },
     )
     print(f"artifact: {out}")

@@ -1,8 +1,9 @@
 """``python -m repro.lint`` — the project's static-analysis gate.
 
-Thin runnable wrapper over :mod:`repro.analysis` (rules RPR001-RPR005:
+Thin runnable wrapper over :mod:`repro.analysis` (rules RPR001-RPR006:
 determinism hazards, invalidation-protocol conformance, layering,
-spawn safety, shard safety).  See docs/ARCHITECTURE.md § Analysis layer.
+spawn safety, shard safety, phase purity).  See docs/ARCHITECTURE.md
+§ Analysis layer.
 """
 
 from __future__ import annotations

@@ -4,6 +4,13 @@ companion performance study [CHMS94]."""
 from .admission import AdmissionCache
 from .artifacts import bench_artifact, cell_rows_with_work, write_bench_artifact
 from .deadlock import find_cycle, find_cycle_counted, pick_victim, resolve_deadlock
+from .executor import (
+    ExecutorStats,
+    ParallelExecutor,
+    SerialExecutor,
+    make_executor,
+    shard_phase,
+)
 from .grid import GridSpec, PolicySpec, WorkloadSpec, run_grid
 from .lock_table import LockTable
 from .metrics import Metrics, TxnRecord
@@ -40,12 +47,15 @@ from .workloads import (
 __all__ = [
     "AdmissionCache",
     "CellResult",
+    "ExecutorStats",
     "FAILED_SEEDS_LIMIT",
     "GRID_FACTORIES",
     "GridSpec",
     "LockTable",
     "Metrics",
+    "ParallelExecutor",
     "PolicySpec",
+    "SerialExecutor",
     "SeedOutcome",
     "SimResult",
     "Simulator",
@@ -70,6 +80,7 @@ __all__ = [
     "grid_factory",
     "grid_factory_names",
     "long_transaction_workload",
+    "make_executor",
     "pick_victim",
     "random_access_workload",
     "register_grid_factory",
@@ -77,6 +88,7 @@ __all__ = [
     "run_cell",
     "run_grid",
     "run_seed",
+    "shard_phase",
     "stress_workload",
     "traversal_workload",
     "write_bench_artifact",

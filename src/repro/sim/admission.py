@@ -32,11 +32,33 @@ Phase-2 loop) against the lock table and the waits-for graph, maintains
 the lazy blocked-tick accounting around cache hits, and keeps blocked
 waiters' waits-for edges fresh across grants and grantability-filtered
 releases without re-classifying them.
+
+The classification itself is split into two halves so the phase pipeline
+(:mod:`repro.sim.executor`) can fan it out over shard-local work sets:
+
+* :meth:`Classifier.derive` — the *pure read* half: peek the pending
+  step, evaluate the admission verdict, query the lock table's holder
+  maps, and package the outcome as a :class:`Decision` without mutating
+  any scheduler state.  During the classify phase the holder maps and the
+  live table are frozen (no acquire/release/commit happens mid-phase), so
+  derivations of distinct sessions are independent and may run
+  concurrently on shard workers.
+* :meth:`Classifier.apply` — the *mutating* half: install a derived
+  decision (accounting, counters, waiter queues, waits-for edges,
+  watcher/runnable routing) in exactly the legacy interleaved order's
+  mutation sequence.  Applies always run on the coordinator thread, at
+  the executor's merge barrier, in shard-index order.
+
+:meth:`Classifier.classify` remains the serial composition of the two —
+``apply(entry, derive(entry))`` — and is the byte-identical reference the
+parallel executor is equivalence-tested against.
 """
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import (
+    Callable,
     Dict,
     Hashable,
     Iterable,
@@ -46,6 +68,7 @@ from typing import (
     Tuple,
 )
 
+from ..core.operations import LockMode
 from ..core.steps import Entity
 from ..policies.base import Admission, PolicySession
 from .lock_table import LockTable
@@ -53,15 +76,50 @@ from .live import LOCK_WAIT, NEW, POLICY_WAIT, RUNNABLE, LiveEntry
 from .metrics import Metrics, TxnRecord
 from .waits_for import WaitsForGraph
 
+#: Decision kind for a phase-2 policy abort (not a LiveEntry state — the
+#: session never re-enters the cache; the scheduler aborts it after the
+#: classify phase, in decision order).
+ABORT = "abort"
+
 __all__ = [
+    "ABORT",
     "AdmissionCache",
     "Classifier",
+    "Decision",
     "LiveEntry",
     "NEW",
     "RUNNABLE",
     "LOCK_WAIT",
     "POLICY_WAIT",
 ]
+
+
+@dataclass
+class Decision:
+    """The pure outcome of one classification derivation — everything
+    :meth:`Classifier.apply` needs to install the new state, and nothing
+    else.  Produced by :meth:`Classifier.derive` (possibly on a shard
+    worker), buffered per shard, applied at the merge barrier."""
+
+    name: str
+    #: One of RUNNABLE / LOCK_WAIT / POLICY_WAIT / ABORT.
+    kind: str
+    #: Abort reason (ABORT decisions only).
+    reason: Optional[str] = None
+    #: Waits-for edges to install (wait decisions only).
+    edges: Optional[Set[str]] = None
+    #: Pending lock's entity (LOCK_WAIT waiter queue / RUNNABLE watch).
+    entity: Optional[Entity] = None
+    #: Requested lock mode (LOCK_WAIT only).
+    mode: Optional[LockMode] = None
+    #: RUNNABLE with a pending lock: watch the entity for invalidation.
+    watch: bool = False
+    #: Invalidation channels to (re-)subscribe (dependency-declaring
+    #: sessions only; ``None`` means "leave subscriptions alone").
+    subscribe: Optional[Tuple[Hashable, ...]] = None
+    #: Which work counters this derivation must be credited for.
+    admission_checked: bool = False
+    blockers_queried: bool = False
 
 
 class AdmissionCache:
@@ -214,6 +272,74 @@ class AdmissionCache:
         self.dirty.clear()
         return sorted(check)
 
+    # ------------------------------------------------------------------
+    # Shard-local slices (phase pipeline)
+    # ------------------------------------------------------------------
+
+    def route(
+        self, name: str, shard_of: Callable[[Entity], int]
+    ) -> Optional[int]:
+        """Which shard slice ``name``'s classification belongs to, or
+        ``None`` for the global slice.  A session routes to the shard of
+        its pending lock/unlock step's entity — a lock derivation reads
+        only that shard's holder map, an unlock derivation reads nothing —
+        except when it needs an admission check or declares invalidation
+        dependencies: ``admission()`` and ``admission_dependencies()`` may
+        read shared policy context, so those derivations stay on the
+        coordinator (as do entity-less steps).  Routing happens at drain
+        time, never cached: the pending step advances between ticks, so a
+        stored shard hint would go stale."""
+        entry = self._live.get(name)
+        if entry is None or entry.needs_admission or entry.tracks_deps:
+            return None
+        step = entry.session.peek()
+        if (
+            step is not None
+            and (step.is_lock or step.is_unlock)
+            and step.lock_mode is not None
+        ):
+            return shard_of(step.entity)
+        return None
+
+    def take_check_slices(
+        self, shard_of: Callable[[Entity], int], shards: int
+    ) -> Tuple[List[List[str]], List[str]]:
+        """:meth:`take_check_set` partitioned into shard-local slices plus
+        the global slice (admission-needing or lock-free sessions).  Each
+        slice preserves the sorted order of the merged set, so the serial
+        executor's sorted merge of all slices reproduces the legacy check
+        sequence exactly."""
+        slices: List[List[str]] = [[] for _ in range(shards)]
+        global_slice: List[str] = []
+        for n in self.take_check_set():
+            s = self.route(n, shard_of)
+            (global_slice if s is None else slices[s]).append(n)
+        return slices, global_slice
+
+    def runnable_slices(
+        self, shard_of: Callable[[Entity], int], shards: int
+    ) -> Tuple[List[List[str]], List[str]]:
+        """The runnable set partitioned the same way (introspection for
+        the partition-invariant property tests; phase 3 itself picks from
+        the merged sorted set)."""
+        slices: List[List[str]] = [[] for _ in range(shards)]
+        global_slice: List[str] = []
+        for n in sorted(self.runnable):
+            s = self.route(n, shard_of)
+            (global_slice if s is None else slices[s]).append(n)
+        return slices, global_slice
+
+    def watcher_slices(
+        self, shard_of: Callable[[Entity], int], shards: int
+    ) -> List[Set[str]]:
+        """Watcher names grouped by their watched entity's shard — every
+        watcher set is keyed by a single entity, so each lands wholly in
+        one shard slice (no global spill for watchers)."""
+        slices: List[Set[str]] = [set() for _ in range(shards)]
+        for entity, names in self.watchers.items():  # repro: noqa[RPR001] set-union buckets; order-insensitive
+            slices[shard_of(entity)].update(names)
+        return slices
+
 
 class Classifier:
     """Re-derives cached classifications against the sibling layers (lock
@@ -272,6 +398,122 @@ class Classifier:
             entry.watch_entity = None
         entry.state = NEW
 
+    def derive(self, entry: LiveEntry) -> Decision:
+        """The pure-read half of a classification: one iteration of the
+        naive Phase-2 loop with every mutation replaced by a field of the
+        returned :class:`Decision`.  Reads the session's pending step, the
+        policy verdict (global-slice sessions only — shard routing keeps
+        ``needs_admission`` sessions off workers), the lock table's holder
+        map for the pending entity, and the live table; during the
+        classify phase all of these are frozen, so derivations of distinct
+        sessions commute and may run on shard workers."""
+        name = entry.item.name
+        step = entry.session.peek()
+        assert step is not None
+        subscribe: Optional[Tuple[Hashable, ...]] = None
+        if entry.tracks_deps:
+            deps = entry.session.admission_dependencies()
+            subscribe = tuple(deps) if deps is not None else ()
+        admission_checked = False
+        if entry.needs_admission:
+            admission_checked = True
+            verdict = entry.session.admission()
+            if verdict.verdict is Admission.ABORT:
+                return Decision(
+                    name,
+                    ABORT,
+                    reason=verdict.reason or "policy violation",
+                    subscribe=subscribe,
+                    admission_checked=True,
+                )
+            if verdict.verdict is Admission.WAIT:
+                return Decision(
+                    name,
+                    POLICY_WAIT,
+                    edges={w for w in verdict.waiting_on if w in self.live},
+                    subscribe=subscribe,
+                    admission_checked=True,
+                )
+        mode = step.lock_mode
+        if step.is_lock and mode is not None:
+            blockers = self.table.blockers(name, step.entity, mode)
+            if blockers:
+                return Decision(
+                    name,
+                    LOCK_WAIT,
+                    edges={b for b in blockers if b in self.live},
+                    entity=step.entity,
+                    mode=mode,
+                    subscribe=subscribe,
+                    admission_checked=admission_checked,
+                    blockers_queried=True,
+                )
+            # Runnable with a pending lock: watch the entity so a concurrent
+            # acquire invalidates this classification.
+            return Decision(
+                name,
+                RUNNABLE,
+                entity=step.entity,
+                watch=True,
+                subscribe=subscribe,
+                admission_checked=admission_checked,
+                blockers_queried=True,
+            )
+        return Decision(
+            name,
+            RUNNABLE,
+            subscribe=subscribe,
+            admission_checked=admission_checked,
+        )
+
+    def apply(
+        self,
+        entry: LiveEntry,
+        decision: Decision,
+        aborts: List[Tuple[LiveEntry, str]],
+    ) -> None:
+        """Install a derived decision — the mutating half of a
+        classification, replaying the legacy interleaved sequence's
+        mutation order exactly (lazy accounting, clear, counters,
+        re-subscription, then the per-kind transition).  Coordinator
+        thread only; the executor calls it at the merge barrier in
+        shard-index order."""
+        m = self.metrics
+        name = entry.item.name
+        now = m.ticks
+        self.accrue(entry, now - 1)
+        self.clear(entry)
+        m.classify_checks += 1
+        if decision.subscribe is not None:
+            self.cache.subscribe(name, decision.subscribe)
+        if decision.admission_checked:
+            m.admission_checks += 1
+        if decision.blockers_queried:
+            m.blocker_queries += 1
+        if decision.kind == ABORT:
+            aborts.append((entry, decision.reason or "policy violation"))
+            return
+        if decision.kind == POLICY_WAIT:
+            m.accrue_blocked(entry.record, False, 1)
+            entry.state = POLICY_WAIT
+            entry.accrued_to = now
+            self.graph.set_edges(name, decision.edges or set())
+            return
+        if decision.kind == LOCK_WAIT:
+            m.accrue_blocked(entry.record, True, 1)
+            entry.state = LOCK_WAIT
+            entry.accrued_to = now
+            assert decision.entity is not None and decision.mode is not None
+            self.table.add_waiter(name, decision.entity, decision.mode)
+            self.graph.set_edges(name, decision.edges or set())
+            return
+        if decision.watch:
+            assert decision.entity is not None
+            self.cache.watch(decision.entity, name)
+            entry.watch_entity = decision.entity
+        entry.state = RUNNABLE
+        self.cache.runnable.add(name)
+
     def classify(
         self, entry: LiveEntry, aborts: List[Tuple[LiveEntry, str]]
     ) -> None:
@@ -280,51 +522,10 @@ class Classifier:
         since the previous classification (during which the session
         necessarily sat in the same blocked state — nothing that could
         have changed it happened, or it would have been re-examined
-        sooner)."""
-        m = self.metrics
-        name = entry.item.name
-        now = m.ticks
-        self.accrue(entry, now - 1)
-        self.clear(entry)
-        m.classify_checks += 1
-        step = entry.session.peek()
-        assert step is not None
-        if entry.tracks_deps:
-            deps = entry.session.admission_dependencies()
-            self.cache.subscribe(name, deps if deps is not None else ())
-        if entry.needs_admission:
-            m.admission_checks += 1
-            verdict = entry.session.admission()
-            if verdict.verdict is Admission.ABORT:
-                aborts.append((entry, verdict.reason or "policy violation"))
-                return
-            if verdict.verdict is Admission.WAIT:
-                m.accrue_blocked(entry.record, False, 1)
-                entry.state = POLICY_WAIT
-                entry.accrued_to = now
-                self.graph.set_edges(
-                    name, {w for w in verdict.waiting_on if w in self.live}
-                )
-                return
-        mode = step.lock_mode
-        if step.is_lock and mode is not None:
-            m.blocker_queries += 1
-            blockers = self.table.blockers(name, step.entity, mode)
-            if blockers:
-                m.accrue_blocked(entry.record, True, 1)
-                entry.state = LOCK_WAIT
-                entry.accrued_to = now
-                self.table.add_waiter(name, step.entity, mode)
-                self.graph.set_edges(
-                    name, {b for b in blockers if b in self.live}
-                )
-                return
-            # Runnable with a pending lock: watch the entity so a concurrent
-            # acquire invalidates this classification.
-            self.cache.watch(step.entity, name)
-            entry.watch_entity = step.entity
-        entry.state = RUNNABLE
-        self.cache.runnable.add(name)
+        sooner).  Serial composition of :meth:`derive` and :meth:`apply`
+        — the byte-identical reference sequence the parallel executor is
+        equivalence-tested against."""
+        self.apply(entry, self.derive(entry), aborts)
 
     # ------------------------------------------------------------------
     # Lock-wait edge maintenance (no re-classification)

@@ -1,0 +1,253 @@
+"""Pluggable executors for the event engine's phase pipeline.
+
+The event tick is a pipeline of phases (commit scan → classify →
+deadlock → execute; see :meth:`repro.sim.scheduler._Run._event_tick`).
+The classify phase is the only one whose work is partitioned:
+:meth:`AdmissionCache.take_check_slices` splits the check set into
+shard-local slices keyed by each session's pending lock entity's shard
+(``LockTable.shard_of``) plus a small global slice (admission-needing or
+lock-free sessions).  An executor decides *how* those slices are walked:
+
+* :class:`SerialExecutor` (default, ``shard_workers=0``) merges the
+  slices back into the legacy fully-sorted sequence and runs the
+  classic interleaved ``classify`` per session — byte-identical to the
+  pre-pipeline engine by construction, and the reference every parallel
+  configuration is equivalence-tested against.
+* :class:`ParallelExecutor` fans the shard slices out to a
+  ``ThreadPoolExecutor``: each worker runs the **pure derive half**
+  (:meth:`Classifier.derive`) of its slice into a per-shard
+  :class:`ShardBuffer`, the coordinator derives the global slice itself,
+  and everything joins at a **deterministic merge barrier** — buffered
+  decisions are applied (:meth:`Classifier.apply`) on the coordinator in
+  shard-index order, global slice last.
+
+**Shard-locality contract** (statically enforced by lint rule RPR006):
+a shard-phase callable — anything decorated :func:`shard_phase`, the
+only code that runs on workers — may read the frozen phase inputs it is
+handed (the live table, the derive callable, its slice of names) and
+write **only** its per-shard buffer.  No global ``_Run``/cache/graph/
+metrics state, no lock-table mutation.  During the classify phase the
+holder maps and live table are frozen (grants, releases, commits, and
+aborts all happen in other phases), so derivations of distinct sessions
+read disjoint-or-immutable state and commute.
+
+**Merge-barrier determinism argument.**  Output is byte-identical to the
+serial reference at any worker count because
+
+1. *derive is pure* on frozen inputs, so every session's decision is the
+   same object-value regardless of which thread computes it or when;
+2. *applies all run on the coordinator*, so no mutation races exist;
+3. *apply order is unobservable*: per-session effects (state, accounting,
+   accrual) touch only that session's entry; cross-session effects are
+   commutative — set inserts, plain counter increments, per-name edge
+   replacement in the waits-for graph (whose detection iterates via
+   ``sorted``/``min``, never dict order, and whose cached-walk cuts
+   compose to a position minimum in any order), and waiter-queue
+   insertion order, which downstream feeds only set-adds and counters;
+4. the only order-*observable* effect — the abort list — is populated
+   exclusively by admission-needing sessions, which all route to the
+   global slice and are applied last in sorted order, the same relative
+   order the legacy sequence produced.
+
+The per-phase work counters (:class:`ExecutorStats`) live on the
+executor, **not** in ``Metrics.work_summary()``: they describe how the
+work was scheduled, not what work the engine did, and keeping them out
+of the summary is what keeps ``SeedOutcome``s byte-identical across
+``shard_workers``.  They surface as ``SimResult.executor_stats``.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Tuple
+
+__all__ = [
+    "ExecutorStats",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "ShardBuffer",
+    "derive_slice",
+    "make_executor",
+    "shard_phase",
+]
+
+
+def shard_phase(fn: Callable) -> Callable:
+    """Mark ``fn`` as a shard-phase callable: code that may run on a
+    shard worker and must obey the shard-locality contract (reads frozen
+    phase inputs, writes only its per-shard buffer).  The marker is what
+    lint rule RPR006 keys on."""
+    fn.__shard_phase__ = True
+    return fn
+
+
+@dataclass
+class ShardBuffer:
+    """One shard's output of the classify phase: the derived decisions,
+    in slice (sorted-name) order, awaiting coordinator apply at the merge
+    barrier.  ``shard`` is -1 for the global slice."""
+
+    shard: int
+    decisions: List[Tuple[object, object]] = field(default_factory=list)
+
+
+@shard_phase
+def derive_slice(derive, live, names, buf):
+    """Derive one slice's classifications into its buffer — the whole
+    body of a shard worker's phase-2 contribution.  Pure with respect to
+    global state: ``derive`` is :meth:`Classifier.derive` (read-only on
+    frozen phase inputs) and the only write target is ``buf``."""
+    for name in names:
+        entry = live[name]
+        buf.decisions.append((entry, derive(entry)))
+    return buf
+
+
+class ExecutorStats:
+    """Per-phase work counters: how the classify work was partitioned and
+    scheduled.  Deliberately outside ``Metrics.work_summary()`` (see the
+    module docstring)."""
+
+    def __init__(self) -> None:
+        #: Classifications routed to each shard slice (grown on demand).
+        self.shard_classifications: List[int] = []
+        #: Classifications that spilled to the global slice
+        #: (admission-needing / dependency-declaring / lock-free).
+        self.spill_classifications: int = 0
+        #: Ticks that ran a classify phase with a non-empty check set.
+        self.classify_ticks: int = 0
+        #: Ticks where at least one shard slice was fanned out to workers.
+        self.parallel_ticks: int = 0
+        #: Futures joined at merge barriers (one per fanned-out slice).
+        self.barrier_waits: int = 0
+
+    def count_slices(self, slices, global_slice) -> None:
+        """Account one tick's partitioned check set."""
+        if len(self.shard_classifications) < len(slices):
+            self.shard_classifications.extend(
+                [0] * (len(slices) - len(self.shard_classifications))
+            )
+        nonempty = False
+        for shard, names in enumerate(slices):
+            if names:
+                nonempty = True
+                self.shard_classifications[shard] += len(names)
+        if global_slice:
+            nonempty = True
+            self.spill_classifications += len(global_slice)
+        if nonempty:
+            self.classify_ticks += 1
+
+    def as_dict(self) -> Dict[str, object]:
+        sharded = sum(self.shard_classifications)
+        total = sharded + self.spill_classifications
+        return {
+            "classify_ticks": self.classify_ticks,
+            "parallel_ticks": self.parallel_ticks,
+            "barrier_waits": self.barrier_waits,
+            "shard_classifications": list(self.shard_classifications),
+            "sharded_classifications": sharded,
+            "spill_classifications": self.spill_classifications,
+            "spill_fraction": (
+                self.spill_classifications / total if total else 0.0
+            ),
+        }
+
+
+class SerialExecutor:
+    """The byte-identical reference: merge the slices back into the
+    legacy fully-sorted check sequence and run the interleaved
+    derive+apply (:meth:`Classifier.classify`) per session."""
+
+    kind = "serial"
+    shard_workers = 0
+
+    def __init__(self) -> None:
+        self.stats = ExecutorStats()
+
+    def run_classify(self, classifier, live, slices, global_slice, aborts):
+        self.stats.count_slices(slices, global_slice)
+        merged = [n for names in slices for n in names]
+        merged.extend(global_slice)
+        for name in sorted(merged):
+            classifier.classify(live[name], aborts)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "executor": self.kind,
+            "shard_workers": self.shard_workers,
+            **self.stats.as_dict(),
+        }
+
+    def shutdown(self) -> None:
+        pass
+
+
+class ParallelExecutor:
+    """Fan shard slices out to a thread pool for the pure derive half,
+    join at the deterministic merge barrier, apply in shard-index order
+    (global slice last) on the coordinator.  Byte-identical to
+    :class:`SerialExecutor` at any worker count (see the module
+    docstring's determinism argument, and ``tests/test_executor.py``)."""
+
+    kind = "parallel"
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.shard_workers = workers
+        self.stats = ExecutorStats()
+        self._pool = ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="shard"
+        )
+
+    def run_classify(self, classifier, live, slices, global_slice, aborts):
+        self.stats.count_slices(slices, global_slice)
+        buffers: List[ShardBuffer] = []
+        futures = []
+        for shard, names in enumerate(slices):
+            if not names:
+                continue
+            buf = ShardBuffer(shard=shard)
+            buffers.append(buf)
+            futures.append(
+                self._pool.submit(
+                    derive_slice, classifier.derive, live, names, buf
+                )
+            )
+        # The global slice (admission-needing / dependency-declaring /
+        # lock-free sessions) derives on the coordinator: admission calls
+        # may read shared policy context workers must not race with.
+        global_buf = ShardBuffer(shard=-1)
+        derive_slice(classifier.derive, live, global_slice, global_buf)
+        if futures:
+            self.stats.parallel_ticks += 1
+            for future in futures:
+                future.result()  # merge barrier; re-raises worker errors
+                self.stats.barrier_waits += 1
+        for buf in buffers:  # shard-index order (built in enumerate order)
+            for entry, decision in buf.decisions:
+                classifier.apply(entry, decision, aborts)
+        for entry, decision in global_buf.decisions:
+            classifier.apply(entry, decision, aborts)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "executor": self.kind,
+            "shard_workers": self.shard_workers,
+            **self.stats.as_dict(),
+        }
+
+    def shutdown(self) -> None:
+        self._pool.shutdown(wait=True)
+
+
+def make_executor(shard_workers: int):
+    """``shard_workers=0`` → the serial reference; ``N>=1`` → a parallel
+    executor over an ``N``-thread pool."""
+    if shard_workers < 0:
+        raise ValueError(f"shard_workers must be >= 0, got {shard_workers}")
+    if shard_workers == 0:
+        return SerialExecutor()
+    return ParallelExecutor(shard_workers)

@@ -91,6 +91,9 @@ class GridSpec:
     #: Lock-table shard count for every seed-run (any count produces
     #: byte-identical rows; 1 is the single-partition reference).
     lock_shards: int = 1
+    #: Classify-phase shard workers per seed-run (0 = serial reference;
+    #: any count produces byte-identical rows; event engine only).
+    shard_workers: int = 0
     pairs: Optional[Tuple[Tuple[PolicySpec, WorkloadSpec], ...]] = None
 
     def cells(self) -> List[Tuple[PolicySpec, WorkloadSpec]]:
@@ -113,6 +116,7 @@ class _SeedTask:
     max_ticks: int
     check_serializability: bool
     lock_shards: int = 1
+    shard_workers: int = 0
 
 
 def _run_task(task: _SeedTask) -> Tuple[int, int, SeedOutcome]:
@@ -126,6 +130,7 @@ def _run_task(task: _SeedTask) -> Tuple[int, int, SeedOutcome]:
         check_serializability=task.check_serializability,
         engine=task.engine,
         lock_shards=task.lock_shards,
+        shard_workers=task.shard_workers,
     )
     return task.cell, task.slot, outcome
 
@@ -184,6 +189,7 @@ def run_grid(
             engine=spec.engine, max_ticks=spec.max_ticks,
             check_serializability=spec.check_serializability,
             lock_shards=spec.lock_shards,
+            shard_workers=spec.shard_workers,
         )
         for ci, (p, w) in enumerate(cells)
         for si, seed in enumerate(seeds)

@@ -72,8 +72,16 @@ class LockTable:
         #: transaction waits on at most one entity at a time).
         self._waiting_on: Dict[str, Entity] = {}
 
+    def shard_of(self, entity: Entity) -> int:
+        """Shard index of ``entity`` under the entity-hash rule — the
+        query the phase pipeline uses to key shard-local work sets.  It is
+        the single home of the partitioning rule: :meth:`_part` routes
+        through it, so slice routing and table routing agree by
+        construction (asserted by the randomized partition tests)."""
+        return hash(entity) % self.shards
+
     def _part(self, entity: Entity) -> _Shard:
-        return self._parts[hash(entity) % self.shards]
+        return self._parts[self.shard_of(entity)]
 
     # ------------------------------------------------------------------
     # Holder queries

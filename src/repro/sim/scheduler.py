@@ -34,7 +34,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from ..core.schedules import Event, Schedule
@@ -49,6 +49,7 @@ from .deadlock import (  # _find_cycle re-exported for tests/oracle use
     resolve_deadlock,
 )
 from .event_log import EventLog, assemble as _assemble, truncated as _truncated
+from .executor import make_executor
 from .lock_table import LockTable
 from .metrics import Metrics, TxnRecord
 from .reference import naive_tick
@@ -88,6 +89,11 @@ class SimResult:
     committed: Tuple[str, ...]
     aborted: Tuple[str, ...]
     context: PolicyContext
+    #: How the classify work was scheduled (executor kind, per-shard
+    #: classification counts, barrier waits, spills) — deliberately not
+    #: part of ``Metrics``/``work_summary`` so seeded outcomes stay
+    #: byte-identical across ``shard_workers``.
+    executor_stats: Dict[str, object] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -101,7 +107,11 @@ class Simulator:
     default event-driven engine) or ``"naive"`` (the per-tick rescan kept as
     the reference both engines' equivalence is asserted against).
     ``lock_shards`` partitions the lock table (any count produces identical
-    runs; ``1`` is the single-partition reference).
+    runs; ``1`` is the single-partition reference).  ``shard_workers``
+    selects the classify-phase executor: ``0`` (default) is the serial
+    reference, ``N>=1`` fans shard-local classification out to ``N``
+    threads behind a deterministic merge barrier — any worker count
+    produces byte-identical runs (event engine only).
     """
 
     ENGINES = ("event", "naive")
@@ -115,9 +125,19 @@ class Simulator:
         context_kwargs: Optional[dict] = None,
         engine: str = "event",
         lock_shards: int = 1,
+        shard_workers: int = 0,
     ):
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {self.ENGINES}")
+        if shard_workers < 0:
+            raise ValueError(
+                f"shard_workers must be >= 0, got {shard_workers}"
+            )
+        if shard_workers and engine != "event":
+            raise ValueError(
+                "shard_workers requires the event engine "
+                f"(got engine={engine!r})"
+            )
         self.policy = policy
         self.rng = random.Random(seed)
         self.max_ticks = max_ticks
@@ -125,6 +145,7 @@ class Simulator:
         self.context_kwargs = dict(context_kwargs or {})
         self.engine = engine
         self.lock_shards = lock_shards
+        self.shard_workers = shard_workers
 
     # ------------------------------------------------------------------
 
@@ -146,6 +167,7 @@ class Simulator:
             committed=tuple(run.committed),
             aborted=tuple(run.dropped),
             context=run.context,
+            executor_stats=run.executor.snapshot(),
         )
 
 
@@ -168,6 +190,9 @@ class _Run:
         self.classifier = Classifier(
             self.live, self.metrics, self.table, self.graph, self.cache
         )
+        #: The classify-phase executor (serial reference or thread-pool
+        #: fan-out over shard slices; see :mod:`repro.sim.executor`).
+        self.executor = make_executor(sim.shard_workers)
         self.log = EventLog()
         self.committed: List[str] = []
         self.dropped: List[str] = []
@@ -201,34 +226,38 @@ class _Run:
 
     def execute(self) -> None:
         m = self.metrics
-        self.admit_arrivals()
         tick = (
             self._event_tick if self.event_engine else lambda: naive_tick(self)
         )
-        while self.live or self.pending:
-            if not self.live and self.pending:
-                # Idle until the next arrival: jump to the tick *before* it
-                # so the increment below lands exactly on start_tick,
-                # clamped so a far-future arrival cannot jump the clock
-                # straight past the max_ticks guard below.
-                m.ticks = min(
-                    max(m.ticks, self.pending[0][0] - 1),
-                    self.max_ticks,
-                )
-            if m.ticks >= self.max_ticks:
-                raise SimulationError(
-                    f"exceeded {self.max_ticks} ticks with "
-                    f"{_truncated(sorted(self.live))} still active and "
-                    f"{self.pending_items} pending"
-                )
-            m.ticks += 1
+        try:
             self.admit_arrivals()
-            # Accrued *after* admissions: a transaction admitted at tick t
-            # can execute at tick t, so it belongs in tick t's integral.
-            m.active_integral += len(self.live)
-            if not self.live:
-                continue
-            tick()
+            while self.live or self.pending:
+                if not self.live and self.pending:
+                    # Idle until the next arrival: jump to the tick *before*
+                    # it so the increment below lands exactly on start_tick,
+                    # clamped so a far-future arrival cannot jump the clock
+                    # straight past the max_ticks guard below.
+                    m.ticks = min(
+                        max(m.ticks, self.pending[0][0] - 1),
+                        self.max_ticks,
+                    )
+                if m.ticks >= self.max_ticks:
+                    raise SimulationError(
+                        f"exceeded {self.max_ticks} ticks with "
+                        f"{_truncated(sorted(self.live))} still active and "
+                        f"{self.pending_items} pending"
+                    )
+                m.ticks += 1
+                self.admit_arrivals()
+                # Accrued *after* admissions: a transaction admitted at tick
+                # t can execute at tick t, so it belongs in tick t's
+                # integral.
+                m.active_integral += len(self.live)
+                if not self.live:
+                    continue
+                tick()
+        finally:
+            self.executor.shutdown()
 
     # ------------------------------------------------------------------
     # Lifecycle helpers (shared)
@@ -417,14 +446,32 @@ class _Run:
     # ------------------------------------------------------------------
 
     def _event_tick(self) -> None:
-        m = self.metrics
+        """One event-engine tick as an explicit phase pipeline: commit
+        scan → classify → deadlock → execute.  Each phase is a method
+        with a documented shard-locality contract; only the classify
+        phase's work is partitioned (and optionally fanned out to shard
+        workers by the executor) — every other phase runs whole on the
+        coordinator."""
+        if not self._phase_commit():
+            return
+        if self._phase_classify():
+            return
+        if not self.cache.runnable:
+            self._phase_deadlock()
+            return
+        self._phase_execute()
+
+    def _phase_commit(self) -> bool:
+        """Phase 1 — commit scan (coordinator only: commits and phase-1
+        aborts mutate the live table, the lock table, and the log, all of
+        which the classify phase needs frozen).  Only sessions that can
+        act here (every-tick dynamic ones, finished scripted ones, and
+        dependency-declaring sessions due their replanning peek) are
+        visited, in admission order, matching the naive engine's
+        insertion-order scan over all of live — for every other session
+        the phase-1 peek is an observable no-op.  Returns whether any
+        session survives into phase 2."""
         live = self.live
-        # Phase 1: commits/phase-1 aborts.  Only sessions that can act here
-        # (every-tick dynamic ones, finished scripted ones, and
-        # dependency-declaring sessions due their replanning peek) are
-        # visited, in admission order, matching the naive engine's
-        # insertion-order scan over all of live — for every other session
-        # the phase-1 peek is an observable no-op.
         for name in sorted(
             self.cache.phase1_candidates(), key=lambda n: live[n].seq
         ):
@@ -438,49 +485,70 @@ class _Run:
                 continue
             if step is None:
                 self.commit(entry)
-        if not live:
-            return
+        return bool(live)
 
-        # Phase 2: classify only sessions whose cached state may have
-        # changed — the dirty set (woken waiters, invalidated watchers,
-        # executors, fresh admissions) plus every dynamic session.
+    def _phase_classify(self) -> bool:
+        """Phase 2 — classify only sessions whose cached state may have
+        changed: the dirty set (woken waiters, invalidated watchers,
+        executors, fresh admissions) plus every dynamic session.  The
+        check set is partitioned into shard-local slices (keyed by the
+        pending lock entity's shard) plus a global slice, and handed to
+        the executor: shard slices read only frozen phase inputs and
+        their own shard's holder map, so the parallel executor may derive
+        them on workers; all state mutation happens in coordinator-side
+        applies at the merge barrier, in shard-index order.  Phase-2
+        policy aborts (global slice only) are applied after the barrier,
+        in the legacy sorted order; returns whether any occurred (which
+        ends the tick)."""
         aborts: List[Tuple[LiveEntry, str]] = []
-        for name in self.cache.take_check_set():
-            self.classifier.classify(live[name], aborts)
+        slices, global_slice = self.cache.take_check_slices(
+            self.table.shard_of, self.table.shards
+        )
+        self.executor.run_classify(
+            self.classifier, self.live, slices, global_slice, aborts
+        )
         for entry, reason in aborts:
             self.abort(entry, reason)
-        if aborts:
-            return
+        return bool(aborts)
 
-        if not self.cache.runnable:
-            # Deadlock path: the graph is maintained always-fresh, so the
-            # incremental detector runs directly on it — acyclicity
-            # certificates survive between detections, and only the
-            # possibly-cyclic region is re-walked (the from-scratch walk
-            # was the last O(blocked) per-detection cost).
-            cycle = self.graph.find_cycle()
-            m.cycle_detections += 1
-            m.cycle_visits += self.graph.last_visits
-            if cycle is None:
-                raise SimulationError(
-                    f"livelock: no runnable session and no waits-for cycle "
-                    f"among {_truncated(sorted(live))}"
-                )
-            victim_name = pick_victim(cycle, live)
-            m.deadlocks += 1
-            m.deadlock_victims.append(victim_name)
-            # The cycle members' lazy accounting must be as fresh as the
-            # naive engine's every-blocked-session classification here
-            # (the victim's record is final after the abort).
-            for member in cycle:
-                entry = live.get(member)
-                if entry is not None:
-                    self.classifier.accrue(entry, m.ticks)
-            self.abort(live[victim_name], "deadlock victim")
-            return
+    def _phase_deadlock(self) -> None:
+        """Deadlock path (coordinator only: cycle detection walks the
+        whole waits-for graph — inherently cross-shard — and the victim
+        abort mutates every layer).  The graph is maintained always-fresh,
+        so the incremental detector runs directly on it — acyclicity
+        certificates survive between detections, and only the
+        possibly-cyclic region is re-walked (the from-scratch walk was
+        the last O(blocked) per-detection cost)."""
+        m = self.metrics
+        live = self.live
+        cycle = self.graph.find_cycle()
+        m.cycle_detections += 1
+        m.cycle_visits += self.graph.last_visits
+        if cycle is None:
+            raise SimulationError(
+                f"livelock: no runnable session and no waits-for cycle "
+                f"among {_truncated(sorted(live))}"
+            )
+        victim_name = pick_victim(cycle, live)
+        m.deadlocks += 1
+        m.deadlock_victims.append(victim_name)
+        # The cycle members' lazy accounting must be as fresh as the
+        # naive engine's every-blocked-session classification here
+        # (the victim's record is final after the abort).
+        for member in cycle:
+            entry = live.get(member)
+            if entry is not None:
+                self.classifier.accrue(entry, m.ticks)
+        self.abort(live[victim_name], "deadlock victim")
 
-        # Phase 3: execute one step.
-        self._execute_step(live[self.rng.choice(sorted(self.cache.runnable))])
+    def _phase_execute(self) -> None:
+        """Phase 3 — execute one step of one runnable session, seeded
+        uniform choice (coordinator only: grants, releases, wake-ups, and
+        the event log are global mutations; invalidation routing keys the
+        *next* tick's shard slices)."""
+        self._execute_step(
+            self.live[self.rng.choice(sorted(self.cache.runnable))]
+        )
 
 
 def _pick_deadlock_victim(waits_for, live) -> Optional[str]:

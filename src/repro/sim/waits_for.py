@@ -80,18 +80,37 @@ class WaitsForGraph:
     # Edge maintenance
     # ------------------------------------------------------------------
 
-    def _touch(self, name: str, new_key: bool = False) -> None:
-        """``name``'s out-edge set changed: cut the cached walk at its
-        position (the prefix before it still replays verbatim), or clear
-        the walk entirely when a new key sorts before its root (the
-        reference DFS would start there instead)."""
+    def _cut_step(self, name, edges, new_key: bool = False) -> None:
+        """``name``'s out-edge set changed (to ``edges``): cut the cached
+        walk at its position — *unless the recorded step survives*.  A
+        walk position is valid iff its recorded successor is still the
+        node's first sorted neighbour, so an update that leaves
+        ``min(edges)`` equal to the recorded next step (a deadlock
+        victim's abort pruning a cycle member's *other* edges, a fresh
+        grant extending a blocker set with a later-sorting name) keeps the
+        prefix replayable and costs nothing.  The cut therefore lands at
+        the victim's own cycle position instead of the earliest touched
+        cycle member, which is what lets detection resume across victim
+        aborts (measured by ``cycle_visits``/``cycle_detections`` under
+        the deadlock-storm bench).  Cuts compose to a position minimum in
+        any order, so batched-apply order never changes the surviving
+        prefix.  The walk is cleared entirely when a brand-new key sorts
+        before its root (the reference DFS would start there instead) —
+        checked even when a stale entry for ``name`` lingers in the
+        already-cut suffix of the index."""
         if not self._walk:
             return
         i = self._walk_index.get(name)
-        if i is not None:
-            if i < self._walk_valid:
-                self._walk_valid = i
-        elif new_key and name < self._walk[0]:
+        if i is not None and i < self._walk_valid:
+            if (
+                i + 1 < len(self._walk)
+                and edges
+                and min(edges) == self._walk[i + 1]
+            ):
+                return  # recorded step still the first sorted neighbour
+            self._walk_valid = i
+            return
+        if new_key and name < self._walk[0]:
             self._walk_valid = 0
 
     def set_edges(self, name: str, blockers: Set[str]) -> None:
@@ -105,10 +124,10 @@ class WaitsForGraph:
                 self._drop_reverse(b, name)
             added = blockers - old
             if old != blockers:
-                self._touch(name)
+                self._cut_step(name, blockers)
         else:
             added = blockers
-            self._touch(name, new_key=old is None)
+            self._cut_step(name, blockers, new_key=old is None)
         for b in added:  # repro: noqa[RPR001] independent per-edge inserts into the reverse index
             self.blocked_by.setdefault(b, set()).add(name)
         if added:
@@ -123,7 +142,7 @@ class WaitsForGraph:
             edges.add(blocker)
             self.blocked_by.setdefault(blocker, set()).add(waiter)
             self._dirty.add(waiter)
-            self._touch(waiter)
+            self._cut_step(waiter, edges)
 
     def drop_edges(self, name: str) -> None:
         """Remove ``name``'s outgoing edges (and their reverse entries).
@@ -132,7 +151,7 @@ class WaitsForGraph:
         if old is not None:
             for b in old:  # repro: noqa[RPR001] independent per-edge removals from the reverse index
                 self._drop_reverse(b, name)
-            self._touch(name)
+            self._cut_step(name, ())
 
     def remove_inbound(self, name: str) -> Set[str]:
         """Eagerly prune every edge aimed *at* ``name`` (a departing
@@ -145,7 +164,7 @@ class WaitsForGraph:
             edges = self.waits_for.get(w)
             if edges is not None and name in edges:
                 edges.discard(name)
-                self._touch(w)
+                self._cut_step(w, edges)
         return waiters
 
     def forget(self, name: str) -> Set[str]:

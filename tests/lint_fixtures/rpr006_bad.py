@@ -1,0 +1,16 @@
+# repro-lint-module: repro.sim.fixture_rpr006_bad
+"""RPR006-positive fixture: a shard-phase callable mutating global
+scheduler state instead of its per-shard buffer."""
+
+
+def shard_phase(fn):
+    fn.__shard_phase__ = True
+    return fn
+
+
+@shard_phase
+def classify_slice(run, names, buf):
+    for name in names:
+        run.cache.dirty.add(name)  # global cache mutation from a worker
+        buf.decisions.append(name)
+    return buf

@@ -1,0 +1,16 @@
+# repro-lint-module: repro.sim.fixture_rpr006_good
+"""RPR006-negative fixture: a shard-phase callable reading frozen phase
+inputs and writing only its per-shard buffer."""
+
+
+def shard_phase(fn):
+    fn.__shard_phase__ = True
+    return fn
+
+
+@shard_phase
+def classify_slice(derive, live, names, buf):
+    for name in names:
+        entry = live[name]
+        buf.decisions.append((name, derive(entry)))
+    return buf

@@ -32,6 +32,11 @@ class TestPresets:
             "stress", "deadlock", "traversal", "mega_stress",
         }
 
+    def test_special_benches_registered_and_listed(self, capsys):
+        assert set(bench.SPECIAL_BENCHES) == {"parallel_shards"}
+        assert bench.main(["--list"]) == 0
+        assert "parallel_shards" in capsys.readouterr().out
+
     def test_mega_stress_shape(self):
         spec = bench.PRESETS["mega_stress"](1.0)
         (workload,) = spec.workloads
@@ -89,3 +94,37 @@ class TestArgValidation:
             ["stress", "--workers", "3", "--seeds", "5"]
         )
         assert (args.workers, args.seeds) == (3, 5)
+
+    @pytest.mark.parametrize("value", ["0", "-0.5", "nan"])
+    def test_non_positive_scale_rejected_at_parse_time(self, capsys, value):
+        with pytest.raises(SystemExit) as exc:
+            bench.build_parser().parse_args(["stress", "--scale", value])
+        assert exc.value.code == 2
+        assert "must be > 0" in capsys.readouterr().err
+
+    def test_fractional_scale_accepted(self):
+        args = bench.build_parser().parse_args(["stress", "--scale", "0.05"])
+        assert args.scale == 0.05
+
+    def test_shard_workers_zero_is_explicit_serial(self):
+        # 0 is meaningful (force the serial executor / filter the sweep
+        # to serial rows), so --shard-workers gets the non-negative
+        # validator, not the >= 1 one.
+        args = bench.build_parser().parse_args(
+            ["stress", "--shard-workers", "0"]
+        )
+        assert args.shard_workers == 0
+
+    def test_negative_shard_workers_rejected(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            bench.build_parser().parse_args(
+                ["stress", "--shard-workers", "-1"]
+            )
+        assert exc.value.code == 2
+        assert "must be >= 0" in capsys.readouterr().err
+
+    def test_shard_workers_default_is_unset(self):
+        # None (not 0) so parallel_shards can tell "sweep everything"
+        # apart from "serial only".
+        args = bench.build_parser().parse_args(["stress"])
+        assert args.shard_workers is None

@@ -1,0 +1,325 @@
+"""The phase-pipelined shard executor.
+
+The classify phase fans shard-local work slices out to an executor —
+``SerialExecutor`` (the byte-identical reference) or the thread-pooled
+``ParallelExecutor`` with its deterministic merge barrier.  The contract
+under test:
+
+1. **Byte-identical output across executors.**  For every registered
+   grid factory, a seeded run's whole :class:`SeedOutcome` is equal for
+   every ``shard_workers`` in {0, 2, 4} at every ``lock_shards`` in
+   {1, 4, 8}; end to end, ``CellResult.row()`` dicts through the grid
+   runner match too.
+2. **Routing agrees with the lock table.**  ``LockTable.shard_of`` is
+   the same rule ``_part`` routes operations through, and the admission
+   cache's check-set partition is a true partition: disjoint sorted
+   slices whose union is exactly the legacy ``take_check_set``, with
+   every session either in its pending entity's shard slice or in the
+   global (coordinator) slice.
+3. **Executor stats stay out of the metric summaries** — they ride on
+   ``SimResult.executor_stats`` so shard_workers cannot perturb the
+   SeedOutcome equality above.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.policies import AltruisticPolicy, DdagPolicy, TwoPhasePolicy
+from repro.sim import (
+    GRID_FACTORIES,
+    AdmissionCache,
+    GridSpec,
+    LockTable,
+    ParallelExecutor,
+    PolicySpec,
+    SerialExecutor,
+    Simulator,
+    WorkloadSpec,
+    grid_factory,
+    make_executor,
+    run_grid,
+    run_seed,
+)
+
+SHARD_COUNTS = (1, 4, 8)
+WORKER_COUNTS = (0, 2, 4)
+
+# Small-but-contended kwargs per registered factory, plus the policy that
+# exercises the factory's intended scenario.  Every registered name must
+# appear (the guard test fails loud otherwise), and one extra altruistic
+# cell keeps dependency-declaring sessions — the global-slice spill path —
+# under parallel coverage.
+FACTORY_CELLS = {
+    "stress": (
+        TwoPhasePolicy,
+        {"num_entities": 30, "num_txns": 40, "arrival_rate": 1.0,
+         "hot_fraction": 0.1},
+    ),
+    "deadlock_storm": (
+        TwoPhasePolicy,
+        {"num_entities": 20, "num_txns": 30, "accesses_per_txn": 2,
+         "arrival_rate": 0.5, "hot_set_size": 4, "hot_traffic": 0.7},
+    ),
+    "long_transaction": (
+        AltruisticPolicy,
+        {"num_entities": 12, "num_short": 6, "short_start": 4},
+    ),
+    "random_access": (TwoPhasePolicy, {"num_entities": 8, "num_txns": 8}),
+    "traversal": (DdagPolicy, {"nodes": 8, "num_txns": 5}),
+    "dynamic_traversal": (DdagPolicy, {"nodes": 8, "num_txns": 5}),
+}
+
+EXTRA_CELLS = {
+    "stress+altruistic": (
+        "stress",
+        AltruisticPolicy,
+        {"num_entities": 30, "num_txns": 40, "arrival_rate": 1.0,
+         "hot_fraction": 0.1},
+    ),
+}
+
+
+class TestMakeExecutor:
+    def test_zero_workers_is_the_serial_reference(self):
+        ex = make_executor(0)
+        assert isinstance(ex, SerialExecutor)
+        assert ex.snapshot()["executor"] == "serial"
+
+    def test_positive_workers_build_a_pool(self):
+        ex = make_executor(2)
+        try:
+            assert isinstance(ex, ParallelExecutor)
+            snap = ex.snapshot()
+            assert snap["executor"] == "parallel"
+            assert snap["shard_workers"] == 2
+        finally:
+            ex.shutdown()
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError, match="shard_workers"):
+            make_executor(-1)
+        with pytest.raises(ValueError, match="shard_workers"):
+            Simulator(TwoPhasePolicy(), shard_workers=-1)
+
+    def test_shard_workers_require_the_event_engine(self):
+        with pytest.raises(ValueError, match="event"):
+            Simulator(TwoPhasePolicy(), engine="naive", shard_workers=2)
+
+
+class TestExecutorEquivalence:
+    """The acceptance matrix: SeedOutcomes are byte-identical for
+    ``shard_workers`` in {0, 2, 4} at ``lock_shards`` in {1, 4, 8}."""
+
+    @pytest.mark.parametrize("factory_name", sorted(GRID_FACTORIES))
+    def test_every_factory_is_worker_invariant(self, factory_name):
+        assert factory_name in FACTORY_CELLS, (
+            f"add a FACTORY_CELLS entry for new factory {factory_name!r}"
+        )
+        policy_cls, kwargs = FACTORY_CELLS[factory_name]
+        self._assert_matrix(factory_name, policy_cls, kwargs, seed=0)
+
+    @pytest.mark.parametrize("cell", sorted(EXTRA_CELLS))
+    def test_extra_cells_are_worker_invariant(self, cell):
+        factory_name, policy_cls, kwargs = EXTRA_CELLS[cell]
+        self._assert_matrix(factory_name, policy_cls, kwargs, seed=1)
+
+    def _assert_matrix(self, factory_name, policy_cls, kwargs, seed):
+        ref = None
+        for shards in SHARD_COUNTS:
+            for workers in WORKER_COUNTS:
+                items, initial, context_kwargs = grid_factory(factory_name)(
+                    seed, **kwargs
+                )
+                outcome = run_seed(
+                    policy_cls(), items, initial, seed,
+                    context_kwargs=context_kwargs,
+                    max_ticks=500_000,
+                    lock_shards=shards,
+                    shard_workers=workers,
+                )
+                if ref is None:
+                    ref = outcome
+                    assert ref.error is None, f"seed run failed: {ref.error}"
+                    continue
+                assert outcome == ref, (
+                    f"{factory_name}: SeedOutcome diverges at "
+                    f"shards={shards} shard_workers={workers}"
+                )
+
+    def test_grid_cell_rows_identical_across_worker_counts(self):
+        """End to end through the grid runner: ``shard_workers=2`` must
+        produce byte-identical ``CellResult.row()`` dicts to the serial
+        reference."""
+        spec = GridSpec(
+            policies=(PolicySpec(TwoPhasePolicy), PolicySpec(AltruisticPolicy)),
+            workloads=(
+                WorkloadSpec("deadlock_storm", {
+                    "num_entities": 20, "num_txns": 25, "accesses_per_txn": 2,
+                    "arrival_rate": 0.5, "hot_set_size": 4, "hot_traffic": 0.7,
+                }),
+            ),
+            seeds=(0, 1),
+            max_ticks=500_000,
+            check_serializability=True,
+            lock_shards=4,
+            shard_workers=0,
+        )
+        reference = run_grid(spec, workers=0)
+        parallel = run_grid(
+            dataclasses.replace(spec, shard_workers=2), workers=0
+        )
+        assert [c.row() for c in parallel] == [c.row() for c in reference]
+        assert [c.work_means for c in parallel] == [
+            c.work_means for c in reference
+        ]
+
+
+class TestShardRouting:
+    @pytest.mark.parametrize("shards", SHARD_COUNTS)
+    def test_shard_of_agrees_with_part_routing(self, shards):
+        """``shard_of`` is the one hashing rule: the partition it names is
+        exactly the partition ``_part`` routes lock operations to."""
+        rng = random.Random(42)
+        table = LockTable(shards=shards)
+        entities = (
+            [f"e{i}" for i in range(50)]
+            + [rng.randrange(10_000) for _ in range(50)]
+            + [("node", i) for i in range(50)]
+        )
+        for entity in entities:
+            s = table.shard_of(entity)
+            assert 0 <= s < shards
+            assert table._parts[s] is table._part(entity)
+
+    def _spy_records(self, monkeypatch):
+        """Wrap ``take_check_slices`` to capture, per tick: the legacy
+        check set (computed pre-drain), each session's routing facts, and
+        the slices actually handed to the executor."""
+        records = []
+        orig = AdmissionCache.take_check_slices
+
+        def spy(self, shard_of, shards):
+            live = self._live
+            expected = sorted(
+                n for n in (self.dirty | self.dynamic)
+                if n in live and n not in self.complete
+            )
+            meta = {}
+            for n in expected:
+                entry = live[n]
+                step = entry.session.peek()
+                lock_shard = None
+                if (step is not None and (step.is_lock or step.is_unlock)
+                        and step.lock_mode is not None):
+                    lock_shard = shard_of(step.entity)
+                meta[n] = (
+                    bool(entry.needs_admission or entry.tracks_deps),
+                    lock_shard,
+                )
+            slices, global_slice = orig(self, shard_of, shards)
+            records.append(
+                (expected, meta, [list(s) for s in slices], list(global_slice))
+            )
+            return slices, global_slice
+
+        monkeypatch.setattr(AdmissionCache, "take_check_slices", spy)
+        return records
+
+    # The last flag says whether the cell is *expected* to route work to
+    # shard slices: DDAG and altruistic sessions declare invalidation
+    # dependencies, so those cells legitimately classify everything on
+    # the coordinator — the partition invariants still have to hold.
+    @pytest.mark.parametrize("cell", [
+        ("deadlock_storm", TwoPhasePolicy,
+         {"num_entities": 20, "num_txns": 30, "accesses_per_txn": 2,
+          "arrival_rate": 0.5, "hot_set_size": 4, "hot_traffic": 0.7},
+         True),
+        ("dynamic_traversal", DdagPolicy, {"nodes": 8, "num_txns": 5},
+         False),
+        ("stress", AltruisticPolicy,
+         {"num_entities": 30, "num_txns": 40, "arrival_rate": 1.0,
+          "hot_fraction": 0.1},
+         False),
+    ], ids=lambda c: f"{c[0]}+{c[1].__name__}")
+    def test_check_slices_are_a_true_partition(self, monkeypatch, cell):
+        factory_name, policy_cls, kwargs, expect_sharded = cell
+        records = self._spy_records(monkeypatch)
+        items, initial, context_kwargs = grid_factory(factory_name)(
+            3, **kwargs
+        )
+        sim = Simulator(
+            policy_cls(), seed=3, max_ticks=500_000,
+            context_kwargs=context_kwargs, engine="event", lock_shards=4,
+        )
+        sim.run(items, initial)
+
+        assert records, "the classify phase never drained a check set"
+        saw_sharded = False
+        for expected, meta, slices, global_slice in records:
+            all_names = [n for s in slices for n in s] + global_slice
+            # A true partition: disjoint, and the union is exactly the
+            # legacy check set.
+            assert sorted(all_names) == expected
+            assert len(all_names) == len(set(all_names))
+            for shard, names in enumerate(slices):
+                # Each slice preserves the merged sorted order.
+                assert names == sorted(names)
+                if names:
+                    saw_sharded = True
+                for n in names:
+                    coordinator_only, lock_shard = meta[n]
+                    assert not coordinator_only, (
+                        f"{n}: admission/dependency session left the "
+                        "coordinator"
+                    )
+                    assert lock_shard == shard, (
+                        f"{n}: routed to shard {shard}, pending entity "
+                        f"hashes to {lock_shard}"
+                    )
+            assert global_slice == sorted(global_slice)
+            for n in global_slice:
+                coordinator_only, lock_shard = meta[n]
+                assert coordinator_only or lock_shard is None, (
+                    f"{n}: shardable session spilled to the global slice"
+                )
+        assert saw_sharded == expect_sharded, (
+            "shard-slice routing expectation violated for this cell"
+        )
+
+
+class TestExecutorStats:
+    def _run(self, shard_workers):
+        items, initial, context_kwargs = grid_factory("deadlock_storm")(
+            0, num_entities=20, num_txns=25, accesses_per_txn=2,
+            arrival_rate=0.5, hot_set_size=4, hot_traffic=0.7,
+        )
+        sim = Simulator(
+            TwoPhasePolicy(), seed=0, max_ticks=500_000,
+            context_kwargs=context_kwargs, engine="event",
+            lock_shards=4, shard_workers=shard_workers,
+        )
+        return sim.run(items, initial)
+
+    def test_snapshot_shape_and_partition_counters(self):
+        serial = self._run(0)
+        parallel = self._run(2)
+        assert serial.executor_stats["executor"] == "serial"
+        assert serial.executor_stats["parallel_ticks"] == 0
+        assert parallel.executor_stats["executor"] == "parallel"
+        assert parallel.executor_stats["shard_workers"] == 2
+        assert parallel.executor_stats["parallel_ticks"] > 0
+        # Both executors see the identical partition of the same run.
+        for key in ("sharded_classifications", "spill_classifications",
+                    "classify_ticks", "spill_fraction"):
+            assert serial.executor_stats[key] == parallel.executor_stats[key]
+        assert parallel.executor_stats["sharded_classifications"] > 0
+
+    def test_stats_stay_out_of_the_metric_summaries(self):
+        """The SeedOutcome equality above holds *because* executor
+        counters never leak into ``summary()``/``work_summary()``."""
+        result = self._run(2)
+        for key in result.executor_stats:
+            assert key not in result.metrics.summary()
+            assert key not in result.metrics.work_summary()

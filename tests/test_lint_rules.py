@@ -17,7 +17,7 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(HERE)
 FIXTURES = os.path.join(HERE, "lint_fixtures")
 
-RULE_CODES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+RULE_CODES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006")
 
 
 def fixture(name):
@@ -48,6 +48,43 @@ class TestRuleFixtures:
         assert "random.choice" in messages
         assert "wall-clock read" in messages
         assert "id()" in messages
+
+    def test_rpr006_covers_reads_writes_and_mutators(self, tmp_path):
+        path = tmp_path / "frag.py"
+        path.write_text(
+            "# repro-lint-module: repro.sim.frag\n"
+            "def shard_phase(fn):\n"
+            "    fn.__shard_phase__ = True\n"
+            "    return fn\n"
+            "@shard_phase\n"
+            "def phase(run, names, buf):\n"
+            "    n = run.metrics.ticks          # global read\n"
+            "    run.cache.runnable.add(n)      # global mutator\n"
+            "    run.live['x'] = 1              # non-buffer assignment\n"
+            "    local = []\n"
+            "    local.append(n)                # local mutation: sanctioned\n"
+            "    buf.decisions.append(n)        # buffer write: sanctioned\n"
+        )
+        messages = [f.message for f in analyze_file(str(path))]
+        assert all("phase" in m for m in messages)
+        assert any("'.metrics'" in m for m in messages)
+        assert any("mutator" in m for m in messages)
+        assert any("assigns" in m for m in messages)
+        assert not any("local" in m and "sanctioned" in m for m in messages)
+
+    def test_rpr006_ignores_undecorated_functions(self, tmp_path):
+        path = tmp_path / "frag.py"
+        path.write_text(
+            "# repro-lint-module: repro.sim.frag\n"
+            "def apply_all(run, names):\n"
+            "    for n in names:\n"
+            "        run.cache.runnable.add(n)\n"
+        )
+        assert analyze_file(str(path)) == []
+
+    def test_rpr006_in_tree_shard_phases_are_clean(self):
+        path = os.path.join(REPO_ROOT, "src", "repro", "sim", "executor.py")
+        assert codes_in(path) == set()
 
     def test_registry_has_exactly_the_documented_rules(self):
         assert set(all_rules()) == set(RULE_CODES)

@@ -107,6 +107,37 @@ class TestOracleEquality:
             g.set_edges(victim, {names[-1]})
             g.set_edges(names[-1], {victim})
 
+    def test_walk_resumes_across_victim_abort(self):
+        """The cached walk survives a victim abort: the cut lands at the
+        victim's own walk position, and a surviving multi-edge node whose
+        recorded first sorted neighbour is intact is *retained* rather
+        than cutting the walk back to its (earlier) position.  The old
+        rule — invalidate from the position of any touched cycle member —
+        would cut to 0 here via the cross edge ``a -> {b, e}``."""
+        g = WaitsForGraph()
+        g.set_edges("a", {"b", "e"})  # cross edge into the eventual victim
+        g.set_edges("b", {"c"})
+        g.set_edges("c", {"d"})
+        g.set_edges("d", {"e"})
+        g.set_edges("e", {"c"})
+        cycle = assert_oracle(g)
+        assert cycle is not None and set(cycle) == {"c", "d", "e"}
+        full_visits = g.last_visits
+        assert full_visits >= 5  # the detection walked the whole chain
+        # Victim abort, as the scheduler performs it: the victim departs
+        # and its waiters re-derive their edges.
+        g.forget("e")
+        g.set_edges("a", {"b"})  # first sorted neighbour 'b' intact: retained
+        g.set_edges("d", {"c"})  # stale region (>= the cut): no further cut
+        # The cut landed at the victim's predecessor position, not 0.
+        assert g._walk_valid == 3
+        cycle2 = assert_oracle(g)
+        assert cycle2 is not None and set(cycle2) == {"c", "d"}
+        assert g.last_visits < full_visits, "walk was not resumed"
+        assert g.last_visits <= 2, (
+            f"resume should revisit only the cut tail, saw {g.last_visits}"
+        )
+
     def test_clean_certificates_skip_acyclic_regions(self):
         g = WaitsForGraph()
         # A big acyclic tendril plus a separate 2-cycle later in sort
