@@ -17,7 +17,21 @@ as machine-checked contracts:
 * **RPR006** — phase purity (shard-phase callables write only their
   per-shard buffer; the merge barrier's static precondition).
 
-Run as ``python -m repro.lint [paths] [--format human|json]``.  This package
+Three rules are *project-scoped*: they run once per ``analyze_paths``
+invocation against a whole-program :class:`ProjectContext` — a symbol
+table over every loaded file, an import-resolved call graph, and
+per-function effect summaries propagated to a fixpoint — instead of one
+file at a time:
+
+* **RPR007** — transitive phase purity (a shard-phase callable whose
+  *callees*, anywhere in the call graph, write shared state — the hole
+  RPR006's one-body-deep check cannot see);
+* **RPR008** — cross-shard write-write races (two worker-reachable
+  paths writing the same non-shard-partitioned attribute);
+* **RPR009** — merge-barrier discipline (coordinator-side classify code
+  mutating executor-visible state outside ``apply``/the merge path).
+
+Run as ``python -m repro.lint [paths] [--format human|json|github]``.  This package
 imports nothing from the rest of ``repro`` (enforced by RPR003 on itself),
 so the linter can never be broken by the code it checks.
 """
@@ -33,6 +47,7 @@ from .core import (
     save_baseline,
 )
 from .engine import FileContext, analyze_file, analyze_paths, iter_python_files
+from .project import ProjectContext
 
 # Importing the rule modules registers their rules.
 from . import determinism  # noqa: F401  (registration import)
@@ -41,9 +56,13 @@ from . import layering  # noqa: F401  (registration import)
 from . import spawn_safety  # noqa: F401  (registration import)
 from . import shard_safety  # noqa: F401  (registration import)
 from . import phase_purity  # noqa: F401  (registration import)
+from . import transitive_purity  # noqa: F401  (registration import)
+from . import shard_races  # noqa: F401  (registration import)
+from . import merge_barrier  # noqa: F401  (registration import)
 
 __all__ = [
     "Finding",
+    "ProjectContext",
     "Rule",
     "FileContext",
     "all_rules",

@@ -1,0 +1,559 @@
+"""Symbol table and import-resolved call graph over all loaded files.
+
+The :class:`SymbolTable` indexes every loaded :class:`FileContext`:
+module-level functions, classes with their methods and *attribute
+types* (inferred from ``__init__`` assignments of annotated parameters,
+constructor calls, and class-level annotations — dataclass fields
+included), and the module's import bindings (absolute and relative).
+
+The :class:`CallGraph` then resolves each extracted call site to a
+function in the table:
+
+* ``self.meth(...)`` through the enclosing class (and its bases,
+  depth-first);
+* ``self.attr.meth(...)`` / ``param.attr.meth(...)`` through inferred
+  **receiver types** — ``self.table = table`` with ``table: LockTable``
+  makes ``self.table.blockers(...)`` resolve to ``LockTable.blockers``;
+* ``name(...)`` through module-level definitions and import bindings
+  (``from .live import LiveEntry`` / ``from ..core import x``), with
+  constructor calls resolving to the class's ``__init__`` on a *fresh*
+  receiver (so the constructor's ``self.x = ...`` writes do not escape
+  into the caller);
+* everything else lands in an explicit **unresolved category** —
+  ``dynamic`` (called through a parameter or local value, e.g. the
+  executor's frozen-input ``derive`` callable), ``external`` (resolves
+  outside the analyzed files), ``unknown-name`` / ``unknown-method`` /
+  ``unknown-receiver`` — recorded on the function's summary so project
+  rules can reason about (and tests can assert) what the analysis did
+  *not* see.
+
+Resolution is static and monomorphic: a call through a declared base
+type resolves to the base's method, not to runtime overrides (virtual
+dispatch on ``admission()`` overrides is RPR002's territory).  All
+iteration orders are sorted — the analysis layer is held to the same
+determinism bar as the code it checks.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .effects import (
+    CallSite,
+    FunctionSummary,
+    PURE_BUILTINS,
+    UNRESOLVED_DYNAMIC,
+    UNRESOLVED_EXTERNAL,
+    UNRESOLVED_UNKNOWN_METHOD,
+    UNRESOLVED_UNKNOWN_NAME,
+    UNRESOLVED_UNKNOWN_RECEIVER,
+    extract,
+)
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: methods, base names, attribute-type hints."""
+
+    qualname: str
+    module: str
+    name: str
+    node: ast.ClassDef = field(repr=False)
+    #: Base-class names as written (``Name`` / dotted ``a.b`` chains).
+    bases: Tuple[str, ...] = ()
+    #: Method name -> FunctionSummary qualname.
+    methods: Dict[str, str] = field(default_factory=dict)
+    #: Attribute name -> raw type reference, resolved lazily:
+    #: ("ann", ast node) | ("name", dotted string) | ("selfclass", None).
+    attr_types: Dict[str, Tuple[str, object]] = field(default_factory=dict)
+    #: Decorator names (bare or rightmost attribute), e.g. "shard_phase".
+    decorators_by_method: Dict[str, Tuple[str, ...]] = field(
+        default_factory=dict
+    )
+
+
+@dataclass
+class ModuleInfo:
+    """One loaded module: definitions and import bindings."""
+
+    name: str
+    path: str
+    is_package: bool = False
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+    #: Module-level function name -> qualname.
+    functions: Dict[str, str] = field(default_factory=dict)
+    #: Local binding -> fully-dotted imported target.
+    imports: Dict[str, str] = field(default_factory=dict)
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def _decorator_names(fn: ast.FunctionDef) -> Tuple[str, ...]:
+    out: List[str] = []
+    for dec in fn.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name):
+            out.append(target.id)
+        elif isinstance(target, ast.Attribute):
+            out.append(target.attr)
+    return tuple(out)
+
+
+class SymbolTable:
+    """Modules, classes, functions, and per-function summaries."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.summaries: Dict[str, FunctionSummary] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: Qualname -> enclosing ClassInfo (methods only).
+        self.method_class: Dict[str, ClassInfo] = {}
+        self._attr_type_memo: Dict[Tuple[str, str], Optional[ClassInfo]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def build(cls, contexts: Sequence) -> "SymbolTable":
+        table = cls()
+        for ctx in sorted(contexts, key=lambda c: c.path):
+            table._index_file(ctx)
+        return table
+
+    def _index_file(self, ctx) -> None:
+        module = ModuleInfo(
+            name=ctx.module,
+            path=ctx.path,
+            is_package=ctx.path.replace("\\", "/").endswith("/__init__.py"),
+        )
+        # Last file wins on module-name collisions (fixture overrides);
+        # real trees have unique module names.
+        self.modules[ctx.module] = module
+        for node in ctx.tree.body:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname:
+                        module.imports[alias.asname] = alias.name
+                    else:
+                        first = alias.name.split(".")[0]
+                        module.imports[first] = first
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(module, node)
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    bound = alias.asname or alias.name
+                    module.imports[bound] = (
+                        f"{base}.{alias.name}" if base else alias.name
+                    )
+            elif isinstance(node, ast.FunctionDef):
+                qual = f"{ctx.module}.{node.name}"
+                module.functions[node.name] = qual
+                self.summaries[qual] = extract(
+                    node, qual, ctx.module, ctx.path
+                )
+            elif isinstance(node, ast.ClassDef):
+                self._index_class(ctx, module, node)
+
+    @staticmethod
+    def _import_base(module: ModuleInfo, node: ast.ImportFrom) -> str:
+        if not node.level:
+            return node.module or ""
+        parts = module.name.split(".")
+        # ``from . import x`` in a module drops its own final segment;
+        # in a package __init__ the package itself is level 1.
+        drop = node.level if not module.is_package else node.level - 1
+        base_parts = parts[: len(parts) - drop] if drop else parts
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts)
+
+    def _index_class(self, ctx, module: ModuleInfo, node: ast.ClassDef) -> None:
+        qual = f"{ctx.module}.{node.name}"
+        info = ClassInfo(
+            qualname=qual,
+            module=ctx.module,
+            name=node.name,
+            node=node,
+            bases=tuple(
+                b for b in (_dotted(base) for base in node.bases) if b
+            ),
+        )
+        module.classes[node.name] = info
+        self.classes[qual] = info
+        for item in node.body:
+            if isinstance(item, ast.FunctionDef):
+                mqual = f"{qual}.{item.name}"
+                info.methods[item.name] = mqual
+                info.decorators_by_method[item.name] = _decorator_names(item)
+                self.summaries[mqual] = extract(
+                    item, mqual, ctx.module, ctx.path
+                )
+                self.method_class[mqual] = info
+            elif isinstance(item, ast.AnnAssign) and isinstance(
+                item.target, ast.Name
+            ):
+                # Class-level annotation (dataclass fields included).
+                info.attr_types.setdefault(
+                    item.target.id, ("ann", item.annotation)
+                )
+        init = next(
+            (
+                item
+                for item in node.body
+                if isinstance(item, ast.FunctionDef) and item.name == "__init__"
+            ),
+            None,
+        )
+        if init is not None:
+            self._infer_init_attr_types(info, init)
+
+    @staticmethod
+    def _infer_init_attr_types(info: ClassInfo, init: ast.FunctionDef) -> None:
+        annotations = {
+            a.arg: a.annotation
+            for a in init.args.posonlyargs + init.args.args + init.args.kwonlyargs
+            if a.annotation is not None
+        }
+        for node in ast.walk(init):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                continue
+            value = node.value
+            ref: Optional[Tuple[str, object]] = None
+            if isinstance(value, ast.Name):
+                if value.id == "self":
+                    ref = ("selfclass", None)
+                elif value.id in annotations:
+                    ref = ("ann", annotations[value.id])
+            elif isinstance(value, ast.Call):
+                name = _dotted(value.func)
+                if name is not None:
+                    ref = ("name", name)
+            if ref is not None:
+                info.attr_types.setdefault(target.attr, ref)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+
+    def resolve_global(self, dotted: str) -> Optional[object]:
+        """A fully-qualified dotted name -> ClassInfo | summary qualname
+        (str) | ModuleInfo | None."""
+        parts = dotted.split(".")
+        for cut in range(len(parts), 0, -1):
+            mod = self.modules.get(".".join(parts[:cut]))
+            if mod is None:
+                continue
+            rest = parts[cut:]
+            if not rest:
+                return mod
+            if len(rest) == 1:
+                if rest[0] in mod.classes:
+                    return mod.classes[rest[0]]
+                if rest[0] in mod.functions:
+                    return mod.functions[rest[0]]
+                # Re-exported name (``from .x import y`` in __init__).
+                target = mod.imports.get(rest[0])
+                if target is not None and target != dotted:
+                    return self.resolve_global(target)
+                return None
+            if len(rest) == 2 and rest[0] in mod.classes:
+                return self.resolve_method(mod.classes[rest[0]], rest[1])
+            return None
+        return None
+
+    def resolve_name(self, module_name: str, name: str) -> Optional[object]:
+        """A (possibly dotted) name as written inside ``module_name``."""
+        mod = self.modules.get(module_name)
+        if mod is None:
+            return None
+        parts = name.split(".")
+        head = parts[0]
+        if head in mod.classes:
+            base: Optional[str] = mod.classes[head].qualname
+        elif head in mod.functions:
+            base = mod.functions[head]
+        elif head in mod.imports:
+            base = mod.imports[head]
+        else:
+            return None
+        full = ".".join([base] + parts[1:])
+        if not parts[1:]:
+            if head in mod.classes:
+                return mod.classes[head]
+            if head in mod.functions:
+                return mod.functions[head]
+        return self.resolve_global(full)
+
+    def resolve_method(self, info: ClassInfo, name: str) -> Optional[str]:
+        """Method qualname via depth-first base-class walk."""
+        seen: Set[str] = set()
+        stack: List[ClassInfo] = [info]
+        while stack:
+            cls = stack.pop(0)
+            if cls.qualname in seen:
+                continue
+            seen.add(cls.qualname)
+            if name in cls.methods:
+                return cls.methods[name]
+            for base in cls.bases:
+                resolved = self.resolve_name(cls.module, base)
+                if isinstance(resolved, ClassInfo):
+                    stack.append(resolved)
+        return None
+
+    def resolve_annotation(
+        self, module_name: str, ann: object
+    ) -> Optional[ClassInfo]:
+        """An annotation AST -> ClassInfo (Optional[...] unwrapped,
+        quoted forward references parsed, subscripted generics skipped)."""
+        if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+            try:
+                ann = ast.parse(ann.value, mode="eval").body
+            except SyntaxError:
+                return None
+        if isinstance(ann, ast.Subscript):
+            head = _dotted(ann.value)
+            if head is not None and head.split(".")[-1] == "Optional":
+                return self.resolve_annotation(module_name, ann.slice)
+            return None
+        if isinstance(ann, (ast.Name, ast.Attribute)):
+            dotted = _dotted(ann)
+            if dotted is None:
+                return None
+            resolved = self.resolve_name(module_name, dotted)
+            return resolved if isinstance(resolved, ClassInfo) else None
+        return None
+
+    def attr_type(self, info: ClassInfo, attr: str) -> Optional[ClassInfo]:
+        """The inferred class of ``info``'s instance attribute ``attr``
+        (base classes consulted)."""
+        key = (info.qualname, attr)
+        if key in self._attr_type_memo:
+            return self._attr_type_memo[key]
+        self._attr_type_memo[key] = None  # cycle guard
+        result: Optional[ClassInfo] = None
+        ref = info.attr_types.get(attr)
+        if ref is not None:
+            kind, payload = ref
+            if kind == "selfclass":
+                result = info
+            elif kind == "ann":
+                result = self.resolve_annotation(info.module, payload)
+            elif kind == "name":
+                resolved = self.resolve_name(info.module, str(payload))
+                if isinstance(resolved, ClassInfo):
+                    result = resolved
+        if result is None:
+            for base in info.bases:
+                resolved = self.resolve_name(info.module, base)
+                if isinstance(resolved, ClassInfo):
+                    result = self.attr_type(resolved, attr)
+                    if result is not None:
+                        break
+        self._attr_type_memo[key] = result
+        return result
+
+
+@dataclass(frozen=True)
+class ResolvedCall:
+    """One resolved call edge, carrying everything effect propagation
+    needs to re-root the callee's effects into the caller's scope."""
+
+    caller: str
+    target: str
+    line: int
+    callee_name: str
+    #: Caller-scope receiver descriptor (None = fresh/local receiver:
+    #: the callee's self-effects do not escape into the caller).
+    receiver: Optional[Tuple[str, str, Tuple[str, ...]]]
+    #: Callee parameter -> caller-scope descriptor (or None).
+    argmap: Tuple[Tuple[str, Optional[Tuple[str, str, Tuple[str, ...]]]], ...]
+
+
+class CallGraph:
+    """Resolved call edges per caller, plus the reverse index the
+    fixpoint worklist walks."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.edges: Dict[str, List[ResolvedCall]] = {}
+        self.callers_of: Dict[str, Set[str]] = {}
+        self._local_type_memo: Dict[str, Dict[str, ClassInfo]] = {}
+        for qual in sorted(table.summaries):
+            self._resolve_function(table.summaries[qual])
+
+    # ------------------------------------------------------------------
+
+    def _resolve_function(self, summary: FunctionSummary) -> None:
+        out: List[ResolvedCall] = []
+        for site in summary.calls:
+            resolved = self._resolve_site(summary, site)
+            if isinstance(resolved, str):
+                summary.unresolved.append((site.callee, site.line, resolved))
+            elif resolved is not None:
+                out.append(resolved)
+                self.callers_of.setdefault(resolved.target, set()).add(
+                    summary.qualname
+                )
+        self.edges[summary.qualname] = out
+
+    def _resolve_site(self, summary: FunctionSummary, site: CallSite):
+        """ResolvedCall | unresolved-category string | None (pure)."""
+        if site.is_method:
+            return self._resolve_method_call(summary, site)
+        name = site.callee
+        if name in summary.local_binds or name in summary.params:
+            return UNRESOLVED_DYNAMIC
+        resolved = self.table.resolve_name(summary.module, name)
+        if isinstance(resolved, str):
+            return self._edge(summary, site, resolved, receiver=None)
+        if isinstance(resolved, ClassInfo):
+            init = self.table.resolve_method(resolved, "__init__")
+            if init is None:
+                return None  # default constructor: pure
+            # Fresh receiver: the constructed object is new, so the
+            # __init__'s self-writes stay invisible to the caller.
+            return self._edge(summary, site, init, receiver=None)
+        if resolved is not None:
+            return None  # a module object: not callable in our model
+        mod = self.table.modules.get(summary.module)
+        if mod is not None and name in mod.imports:
+            return UNRESOLVED_EXTERNAL
+        if name in PURE_BUILTINS:
+            return None
+        return UNRESOLVED_UNKNOWN_NAME
+
+    def _resolve_method_call(self, summary: FunctionSummary, site: CallSite):
+        recv_type = self._type_of(summary, site.receiver_expr)
+        if recv_type is None:
+            # Module-function calls spelled ``mod.fn(...)`` resolve
+            # through imports before giving up on the receiver.
+            expr = site.receiver_expr
+            dotted = _dotted(expr) if expr is not None else None
+            if dotted is not None:
+                full = self.table.resolve_name(
+                    summary.module, f"{dotted}.{site.callee}"
+                )
+                if isinstance(full, str):
+                    return self._edge(summary, site, full, receiver=None)
+                if isinstance(full, ClassInfo):
+                    init = self.table.resolve_method(full, "__init__")
+                    if init is None:
+                        return None
+                    return self._edge(summary, site, init, receiver=None)
+            desc = site.receiver
+            if desc is not None and desc[0] == "param":
+                return UNRESOLVED_DYNAMIC
+            if (
+                expr is not None
+                and isinstance(expr, ast.Name)
+                and (
+                    expr.id in summary.local_binds
+                    or expr.id in summary.params
+                )
+            ):
+                return UNRESOLVED_DYNAMIC
+            return UNRESOLVED_UNKNOWN_RECEIVER
+        target = self.table.resolve_method(recv_type, site.callee)
+        if target is None:
+            return UNRESOLVED_UNKNOWN_METHOD
+        return self._edge(summary, site, target, receiver=site.receiver)
+
+    def _edge(
+        self,
+        summary: FunctionSummary,
+        site: CallSite,
+        target: str,
+        receiver,
+    ) -> Optional[ResolvedCall]:
+        callee = self.table.summaries.get(target)
+        if callee is None:
+            return None
+        params = list(callee.params)
+        if params and params[0] in ("self", "cls"):
+            params = params[1:]
+        argmap: List[Tuple[str, Optional[Tuple[str, str, Tuple[str, ...]]]]] = []
+        for i, desc in enumerate(site.args):
+            if i < len(params):
+                argmap.append((params[i], desc))
+        bound = {p for p, _ in argmap}
+        for kw_name, desc in site.kwargs:
+            if kw_name in callee.params and kw_name not in bound:
+                argmap.append((kw_name, desc))
+        return ResolvedCall(
+            caller=summary.qualname,
+            target=target,
+            line=site.line,
+            callee_name=site.callee,
+            receiver=receiver,
+            argmap=tuple(argmap),
+        )
+
+    # ------------------------------------------------------------------
+    # Receiver-type resolution
+    # ------------------------------------------------------------------
+
+    def _local_ctor_types(self, summary: FunctionSummary) -> Dict[str, ClassInfo]:
+        """Types of single-assignment locals bound to ``Cls(...)``."""
+        memo = self._local_type_memo.get(summary.qualname)
+        if memo is not None:
+            return memo
+        counts: Dict[str, int] = {}
+        ctor: Dict[str, str] = {}
+        for node in ast.walk(summary.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                t = node.targets[0]
+                if isinstance(t, ast.Name):
+                    counts[t.id] = counts.get(t.id, 0) + 1
+                    if isinstance(node.value, ast.Call):
+                        name = _dotted(node.value.func)
+                        if name is not None:
+                            ctor[t.id] = name
+        out: Dict[str, ClassInfo] = {}
+        for name, ref in sorted(ctor.items()):
+            if counts.get(name, 0) != 1:
+                continue
+            resolved = self.table.resolve_name(summary.module, ref)
+            if isinstance(resolved, ClassInfo):
+                out[name] = resolved
+        self._local_type_memo[summary.qualname] = out
+        return out
+
+    def _type_of(
+        self, summary: FunctionSummary, expr: Optional[ast.AST]
+    ) -> Optional[ClassInfo]:
+        if expr is None:
+            return None
+        if isinstance(expr, ast.Name):
+            if expr.id in ("self", "cls"):
+                return self.table.method_class.get(summary.qualname)
+            ann = summary.param_annotations.get(expr.id)
+            if ann is not None:
+                return self.table.resolve_annotation(summary.module, ann)
+            return self._local_ctor_types(summary).get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            base = self._type_of(summary, expr.value)
+            if base is None:
+                return None
+            return self.table.attr_type(base, expr.attr)
+        return None

@@ -2,9 +2,16 @@
 
 Exit codes: ``0`` clean (baseline-grandfathered findings do not fail the
 run), ``1`` findings, ``2`` usage errors.  ``--format json`` emits a
-stable machine-readable document for CI; ``--write-baseline`` snapshots
-the current findings so a newly-adopted rule can be burned down
+stable machine-readable document for CI; ``--format github`` emits
+GitHub Actions workflow commands (``::error file=...,line=...::``) so
+findings annotate the PR diff; ``--write-baseline`` snapshots the
+current findings so a newly-adopted rule can be burned down
 incrementally instead of blocking the tree.
+
+``--write-baseline`` composes with ``--select``: only the selected
+rules' entries are rewritten, and existing baseline entries for
+*unselected* rules are merged back in unchanged (snapshotting one new
+rule must not silently un-grandfather every other rule's debt).
 """
 
 from __future__ import annotations
@@ -14,7 +21,7 @@ import json
 import sys
 from typing import List, Optional, Sequence
 
-from .core import all_rules, load_baseline, save_baseline
+from .core import Finding, all_rules, load_baseline, save_baseline
 from .engine import analyze_paths
 
 DEFAULT_BASELINE = "lint_baseline.json"
@@ -23,7 +30,7 @@ DEFAULT_BASELINE = "lint_baseline.json"
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
-        description="Project-specific static analysis (RPR001-RPR006).",
+        description="Project-specific static analysis (RPR001-RPR009).",
     )
     parser.add_argument(
         "paths",
@@ -33,9 +40,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "github"),
         default="human",
-        help="output format (default: human)",
+        help="output format (default: human); 'github' emits Actions "
+        "::error annotations",
     )
     parser.add_argument(
         "--select",
@@ -77,6 +85,37 @@ def _parse_select(raw: Optional[Sequence[str]]) -> Optional[List[str]]:
     return out
 
 
+def _github_escape(value: str) -> str:
+    """Escape a workflow-command message per the Actions spec."""
+    return (
+        value.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def render_github(finding: Finding) -> str:
+    """One GitHub Actions ``::error`` annotation for ``finding``."""
+    return (
+        f"::error file={_github_escape(finding.path)},"
+        f"line={finding.line},col={finding.col},"
+        f"title={_github_escape(finding.code)}::"
+        f"{_github_escape(finding.message)}"
+    )
+
+
+def merged_baseline_fingerprints(
+    existing: "set[str]", findings: Sequence[Finding], select: Optional[Sequence[str]]
+) -> "set[str]":
+    """Fingerprints for a baseline rewrite: the current findings, plus —
+    when ``--select`` restricted the run — the existing entries of every
+    *unselected* rule, carried over unchanged (a selective snapshot must
+    not discard the other rules' grandfathered debt)."""
+    fps = {f.fingerprint for f in findings}
+    if select:
+        selected = set(select)
+        fps |= {fp for fp in existing if fp.split(":", 1)[0] not in selected}
+    return fps
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -91,7 +130,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         baseline = set() if args.no_baseline else load_baseline(args.baseline)
         if args.write_baseline:
             findings, _ = analyze_paths(args.paths, select=select)
-            count = save_baseline(args.baseline, findings)
+            fps = merged_baseline_fingerprints(baseline, findings, select)
+            count = save_baseline(args.baseline, fps)
             print(f"wrote {count} finding(s) to {args.baseline}")
             return 0
         findings, grandfathered = analyze_paths(
@@ -116,6 +156,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 indent=2,
             )
         )
+    elif args.format == "github":
+        for f in findings:
+            print(render_github(f))
+        suffix = f" ({grandfathered} baseline-grandfathered)" if grandfathered else ""
+        print(f"{len(findings)} finding(s){suffix}")
     else:
         for f in findings:
             print(f.render())

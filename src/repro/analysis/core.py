@@ -1,8 +1,18 @@
 """Findings, the rule registry, suppressions, and baselines.
 
-A *rule* is a function ``(FileContext) -> Iterable[Finding]`` registered
-under a stable ``RPR0xx`` code.  The engine (:mod:`repro.analysis.engine`)
-parses each file once and hands every selected rule the same context.
+Rules come in two scopes.  A *file rule* is a function
+``(FileContext) -> Iterable[Finding]`` registered under a stable
+``RPR0xx`` code; the engine (:mod:`repro.analysis.engine`) parses each
+file once and hands every selected file rule the same context.  A
+*project rule* (``scope="project"``) is a function
+``(ProjectContext) -> Iterable[Finding]`` that runs once per
+``analyze_paths`` invocation against the whole-program view — symbol
+table, import-resolved call graph, and fixpoint effect summaries
+(:mod:`repro.analysis.project`) — and may emit findings in any loaded
+file.  Both kinds share the same suppression, baseline, and ordering
+machinery: a project finding anchors at a concrete file/line (usually
+the offending function's ``def``), so a per-line ``noqa`` and a
+baseline fingerprint work on it exactly as they do on file findings.
 
 Suppressions are per line and must carry a reason::
 
@@ -58,26 +68,40 @@ class Finding:
         }
 
 
+#: Valid values of :attr:`Rule.scope`.
+RULE_SCOPES = ("file", "project")
+
+
 @dataclass(frozen=True)
 class Rule:
-    """A registered rule: stable code, short name, and the check itself."""
+    """A registered rule: stable code, short name, scope, and the check.
+
+    ``scope="file"`` checks receive one :class:`FileContext` per file;
+    ``scope="project"`` checks receive the whole-program
+    :class:`~repro.analysis.project.ProjectContext` once per run.
+    """
 
     code: str
     name: str
     description: str
-    check: Callable[["FileContext"], Iterable[Finding]] = field(repr=False)  # type: ignore[name-defined]  # noqa: F821
+    check: Callable[..., Iterable[Finding]] = field(repr=False)
+    scope: str = "file"
 
 
 _REGISTRY: Dict[str, Rule] = {}
 
 
-def register_rule(code: str, name: str, description: str):
+def register_rule(code: str, name: str, description: str, scope: str = "file"):
     """Decorator: register ``fn`` as the checker for ``code``."""
+    if scope not in RULE_SCOPES:
+        raise ValueError(f"unknown rule scope {scope!r}; expected one of {RULE_SCOPES}")
 
     def deco(fn: Callable) -> Callable:
         if code in _REGISTRY:
             raise ValueError(f"duplicate rule code {code!r}")
-        _REGISTRY[code] = Rule(code=code, name=name, description=description, check=fn)
+        _REGISTRY[code] = Rule(
+            code=code, name=name, description=description, check=fn, scope=scope
+        )
         return fn
 
     return deco
@@ -91,8 +115,11 @@ def all_rules() -> Dict[str, Rule]:
     return dict(_REGISTRY)
 
 
-def iter_rules(select: Optional[Sequence[str]] = None) -> Iterator[Rule]:
-    """Registered rules in code order, optionally filtered to ``select``."""
+def iter_rules(
+    select: Optional[Sequence[str]] = None, scope: Optional[str] = None
+) -> Iterator[Rule]:
+    """Registered rules in code order, optionally filtered to ``select``
+    and/or one ``scope`` (``"file"`` / ``"project"``)."""
     wanted = None if not select else set(select)
     if wanted is not None:
         unknown = wanted - set(_REGISTRY) - {META_CODE}
@@ -102,8 +129,11 @@ def iter_rules(select: Optional[Sequence[str]] = None) -> Iterator[Rule]:
                 f"known: {', '.join(sorted(_REGISTRY))}"
             )
     for code in sorted(_REGISTRY):
-        if wanted is None or code in wanted:
-            yield _REGISTRY[code]
+        if wanted is not None and code not in wanted:
+            continue
+        if scope is not None and _REGISTRY[code].scope != scope:
+            continue
+        yield _REGISTRY[code]
 
 
 # ----------------------------------------------------------------------
@@ -183,9 +213,13 @@ def load_baseline(path: str) -> Set[str]:
     return set(fps)
 
 
-def save_baseline(path: str, findings: Iterable[Finding]) -> int:
-    """Write the fingerprints of ``findings``; returns the count."""
-    fps = sorted({f.fingerprint for f in findings})
+def save_baseline(path: str, findings: Iterable) -> int:
+    """Write the fingerprints of ``findings`` (accepts :class:`Finding`
+    objects or pre-computed fingerprint strings, so partial rewrites can
+    merge surviving entries back in); returns the count."""
+    fps = sorted(
+        {f if isinstance(f, str) else f.fingerprint for f in findings}
+    )
     with open(path, "w", encoding="utf-8") as fh:
         json.dump({"version": BASELINE_VERSION, "findings": fps}, fh, indent=2)
         fh.write("\n")

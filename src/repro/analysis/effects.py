@@ -1,0 +1,541 @@
+"""Per-function effect summaries: the atoms of whole-program analysis.
+
+A function's *direct* effect summary is extracted syntactically from its
+body: every attribute/global **read**, **write** (plain, augmented, and
+annotated assignment through an attribute or subscript target, plus
+``dict[k] = v`` stores), and **mutator call** (``.append``, ``.add``,
+``.update``, ``x[k] = v``, ...) whose receiver *escapes* the function —
+its root is ``self``, a parameter, or a module-level name rather than a
+local binding.  Mutations of locals are invisible to callers and carry
+no effect; writes through a recognised *per-shard buffer* parameter
+(``buf``/``buffer``/``*_buf``/``*_buffer`` — the same sanction RPR006
+uses) are the one blessed output channel of shard-phase code and are
+likewise not effects.
+
+Summaries are deliberately **alias-light**: the only aliasing tracked is
+single-assignment locals bound to a plain attribute chain
+(``d = self.cache.dirty; d.add(x)`` is a ``self.cache.dirty`` mutation).
+Everything else (loop variables over shared containers, tuple unpacking
+of shared state) is treated as local — the same blind spot RPR006 has,
+documented rather than guessed at.
+
+The *conservative fallback* for calls the project call graph cannot
+resolve: a call whose **method name is a known mutator** is classified
+as a mutation of its receiver chain regardless of whether the callee was
+resolved — ``handle.update(x)`` on an unknown ``handle`` counts.
+Non-mutator unresolved calls are recorded (with a category) on the
+summary so project rules can surface them, but contribute no effects;
+treating every unresolved call as impure would flag the executor's own
+``derive(entry)`` frozen-input callable and drown the signal.
+
+:mod:`repro.analysis.project` maps these summaries through the call
+graph to a fixpoint (re-rooting callee effects into caller scope), which
+is what gives every function its *transitive* read/write effect set.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+#: Effect kinds.
+READ = "read"
+WRITE = "write"
+MUTATE = "mutate"
+
+#: Root categories of an effect's receiver chain.
+ROOT_SELF = "self"
+ROOT_PARAM = "param"
+ROOT_GLOBAL = "global"
+
+#: Roots that make an effect *shared* (observable outside the function).
+SHARED_ROOTS = (ROOT_SELF, ROOT_PARAM, ROOT_GLOBAL)
+
+#: Chain element standing in for a subscript hop (``x[k].y`` → ("[]", "y")).
+SUBSCRIPT = "[]"
+#: Chain element standing in for an intermediate call hop
+#: (``self._part(e).holders`` → ("_part()", "holders")) — chains routed
+#: through the shard router are recognisably shard-partitioned.
+CALL_SUFFIX = "()"
+#: Sentinel appended when a chain is truncated at :data:`MAX_CHAIN`.
+ELLIPSIS = "…"
+
+#: Chains longer than this are truncated (with :data:`ELLIPSIS`), which
+#: bounds the effect lattice and guarantees fixpoint convergence on
+#: recursive/cyclic call graphs (``self.child.walk()`` style recursion
+#: would otherwise grow chains forever).  Three hops cover every chain
+#: the rules key on (``self.cache.runnable``, ``_part().holders[...]``)
+#: while keeping the truncated lattice small enough that recursive
+#: AST-walker-style code (whose re-rooted chains otherwise enumerate
+#: every word over its field names) converges in milliseconds.
+MAX_CHAIN = 3
+
+#: Method names that mutate their receiver (superset of the RPR006 and
+#: RPR002 lists: one shared vocabulary for the whole analysis layer).
+MUTATOR_METHODS = frozenset({
+    "add", "append", "appendleft", "clear", "discard", "extend", "insert",
+    "pop", "popitem", "popleft", "remove", "setdefault", "update",
+    "difference_update", "intersection_update", "symmetric_difference_update",
+    "add_edge", "remove_edge", "add_node", "remove_node",
+    "add_root", "add_child", "join", "delete_node", "sort", "reverse",
+})
+
+#: Unresolved-call categories (:class:`CallSite.unresolved`).
+UNRESOLVED_DYNAMIC = "dynamic"        # call through a parameter/local value
+UNRESOLVED_EXTERNAL = "external"      # resolves outside the analyzed files
+UNRESOLVED_UNKNOWN_NAME = "unknown-name"
+UNRESOLVED_UNKNOWN_METHOD = "unknown-method"
+UNRESOLVED_UNKNOWN_RECEIVER = "unknown-receiver"
+
+#: Builtins treated as pure (reads of their arguments at most).
+PURE_BUILTINS = frozenset({
+    "abs", "all", "any", "bool", "callable", "dict", "divmod", "enumerate",
+    "filter", "float", "format", "frozenset", "getattr", "hasattr", "hash",
+    "id", "int", "isinstance", "issubclass", "iter", "len", "list", "map",
+    "max", "min", "next", "object", "print", "range", "repr", "reversed",
+    "round", "set", "sorted", "str", "sum", "tuple", "type", "zip",
+})
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One abstract effect: ``kind`` access to ``root``-rooted ``chain``.
+
+    ``name`` is the parameter name (``ROOT_PARAM``), the module-qualified
+    global (``ROOT_GLOBAL``), or ``"self"``.  ``origin``/``line`` locate
+    the concrete source site the effect was extracted from — they survive
+    re-rooting through call edges, so a transitive effect always points
+    back at the code that performs the write.
+    """
+
+    kind: str
+    root: str
+    name: str
+    chain: Tuple[str, ...]
+    origin: str
+    line: int
+
+    def render(self) -> str:
+        base = self.name if self.root != ROOT_SELF else "self"
+        return ".".join((base,) + self.chain)
+
+    @property
+    def shared(self) -> bool:
+        return self.root in SHARED_ROOTS
+
+    @property
+    def is_write(self) -> bool:
+        return self.kind in (WRITE, MUTATE)
+
+    @property
+    def shard_partitioned(self) -> bool:
+        """Whether the chain is routed through the shard router — a
+        ``_part()`` hop means the receiver is one shard's partition, not
+        cross-shard shared state."""
+        return any(c == "_part" + CALL_SUFFIX for c in self.chain)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One call expression inside a function body, pre-resolution.
+
+    ``receiver`` is the (root, name, chain) descriptor of the receiver
+    expression for attribute calls (``None`` for plain-name calls and
+    unresolvable receivers); ``args``/``kwargs`` carry the same
+    descriptors for plain name/attribute-chain arguments (``None`` for
+    anything more complex — a literal, a call result, a comprehension —
+    whose mutation cannot alias caller state)."""
+
+    callee: str                       # rightmost name: the function/method
+    line: int
+    is_method: bool                   # attribute call (x.m()) vs name call
+    receiver: Optional[Tuple[str, str, Tuple[str, ...]]]
+    receiver_expr: Optional[ast.AST] = field(compare=False, hash=False, default=None)
+    args: Tuple[Optional[Tuple[str, str, Tuple[str, ...]]], ...] = ()
+    kwargs: Tuple[Tuple[str, Optional[Tuple[str, str, Tuple[str, ...]]]], ...] = ()
+
+
+@dataclass
+class FunctionSummary:
+    """Direct effects + call sites of one function."""
+
+    qualname: str
+    module: str
+    path: str
+    line: int
+    node: ast.FunctionDef = field(repr=False)
+    params: Tuple[str, ...] = ()
+    #: Raw annotation AST per parameter (receiver-type resolution input).
+    param_annotations: Dict[str, ast.AST] = field(default_factory=dict, repr=False)
+    #: Names bound locally (the call graph needs "is this name a local?"
+    #: to put calls through values into the *dynamic* unresolved category).
+    local_binds: Set[str] = field(default_factory=set, repr=False)
+    effects: Set[Effect] = field(default_factory=set)
+    calls: List[CallSite] = field(default_factory=list)
+    #: Unresolved-call registry filled by the call graph:
+    #: (callee name, line, category).
+    unresolved: List[Tuple[str, int, str]] = field(default_factory=list)
+
+
+def truncate(chain: Tuple[str, ...]) -> Tuple[str, ...]:
+    """Cap a chain at :data:`MAX_CHAIN` (appending :data:`ELLIPSIS`).
+
+    The ellipsis is *absorbing*: concatenating anything after a
+    truncated chain yields the same truncated chain, so a function's
+    effect set reaches a fixpoint instead of enumerating every suffix."""
+    if ELLIPSIS in chain:
+        chain = chain[: chain.index(ELLIPSIS) + 1]
+    if len(chain) <= MAX_CHAIN:
+        return chain
+    return chain[:MAX_CHAIN] + (ELLIPSIS,)
+
+
+def buffer_params(fn: ast.FunctionDef) -> Set[str]:
+    """Per-shard buffer parameters (the RPR006 sanction, shared here)."""
+    names = [a.arg for a in fn.args.args + fn.args.kwonlyargs]
+    return {
+        n
+        for n in names
+        if n in ("buf", "buffer") or n.endswith(("_buf", "_buffer"))
+    }
+
+
+def iter_body(fn: ast.FunctionDef) -> Iterator[ast.AST]:
+    """Walk ``fn``'s body without descending into nested function/class
+    definitions or lambdas (their effects belong to *their* summaries,
+    and their locals are not ours).  Comprehensions are walked — their
+    targets are bound as locals below."""
+    stack: List[ast.AST] = list(fn.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def local_names(fn: ast.FunctionDef) -> Set[str]:
+    """Names bound inside the body (assignments, loop/with/walrus/
+    comprehension targets, local defs and imports)."""
+    out: Set[str] = set()
+
+    def bind(target: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            out.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                bind(elt)
+        elif isinstance(target, ast.Starred):
+            bind(target.value)
+
+    for node in iter_body(fn):
+        if isinstance(node, ast.Assign):
+            for t in node.targets:
+                bind(t)
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            bind(node.target)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            bind(node.target)
+        elif isinstance(node, ast.NamedExpr):
+            bind(node.target)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if item.optional_vars is not None:
+                    bind(item.optional_vars)
+        elif isinstance(node, ast.comprehension):
+            bind(node.target)
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            out.add(node.name)
+        elif isinstance(node, (ast.Import, ast.ImportFrom)):
+            for alias in node.names:
+                out.add((alias.asname or alias.name).split(".")[0])
+    return out
+
+
+def global_decls(fn: ast.FunctionDef) -> Set[str]:
+    out: Set[str] = set()
+    for node in iter_body(fn):
+        if isinstance(node, ast.Global):
+            out.update(node.names)
+    return out
+
+
+def attr_chain(node: ast.AST) -> Optional[Tuple[ast.AST, Tuple[str, ...]]]:
+    """Decompose an attribute/subscript/call chain into (root expr,
+    chain elements) — ``self._part(e).holders[k]`` →
+    (``self``, ("_part()", "holders", "[]"))."""
+    parts: List[str] = []
+    while True:
+        if isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        elif isinstance(node, ast.Subscript):
+            parts.append(SUBSCRIPT)
+            node = node.value
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                parts.append(func.attr + CALL_SUFFIX)
+                node = func.value
+            else:
+                return None
+        else:
+            break
+    parts.reverse()
+    return node, tuple(parts)
+
+
+class _Scope:
+    """Name-classification for one function body."""
+
+    def __init__(self, fn: ast.FunctionDef, module: str) -> None:
+        arg_nodes = (
+            fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+        )
+        self.params = tuple(a.arg for a in arg_nodes)
+        extra = [fn.args.vararg, fn.args.kwarg]
+        self.param_set = set(self.params) | {
+            a.arg for a in extra if a is not None
+        }
+        self.buffers = buffer_params(fn)
+        self.locals = local_names(fn)
+        self.globals_declared = global_decls(fn)
+        self.module = module
+        #: Single-assignment locals aliasing a plain attribute chain.
+        self.aliases: Dict[str, Tuple[str, str, Tuple[str, ...]]] = {}
+
+    def root_of(self, name: str) -> Optional[Tuple[str, str]]:
+        """(root kind, root name) of a bare name, or None for locals and
+        buffer parameters (whose effects are sanctioned away)."""
+        if name in self.globals_declared:
+            return ROOT_GLOBAL, f"{self.module}.{name}"
+        if name in self.buffers:
+            return None
+        if name in ("self", "cls") and name in self.param_set:
+            return ROOT_SELF, "self"
+        if name in self.locals:
+            alias = self.aliases.get(name)
+            if alias is not None:
+                return alias[0], alias[1]
+            return None
+        if name in self.param_set:
+            return ROOT_PARAM, name
+        # A module-level (or imported) name read/written without a local
+        # binding: global root, module-qualified.
+        return ROOT_GLOBAL, f"{self.module}.{name}"
+
+    def describe(
+        self, node: ast.AST
+    ) -> Optional[Tuple[str, str, Tuple[str, ...]]]:
+        """(root kind, root name, chain) of an expression, or ``None``
+        when it is local/buffer-rooted or not a plain chain."""
+        decomposed = attr_chain(node)
+        if decomposed is None:
+            return None
+        base, chain = decomposed
+        if not isinstance(base, ast.Name):
+            return None
+        name = base.id
+        alias = None
+        if name in self.locals and name not in self.param_set:
+            alias = self.aliases.get(name)
+        if alias is not None:
+            return alias[0], alias[1], truncate(alias[2] + chain)
+        root = self.root_of(name)
+        if root is None:
+            return None
+        return root[0], root[1], truncate(chain)
+
+
+def _collect_aliases(fn: ast.FunctionDef, scope: _Scope) -> None:
+    """``d = self.cache.dirty`` binds ``d`` as an alias of that chain —
+    but only for names assigned exactly once (a rebound name's root is
+    ambiguous, so it degrades to a plain local)."""
+    counts: Dict[str, int] = {}
+    candidates: Dict[str, ast.AST] = {}
+    for node in iter_body(fn):
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            t = node.targets[0]
+            if isinstance(t, ast.Name):
+                counts[t.id] = counts.get(t.id, 0) + 1
+                if isinstance(node.value, (ast.Attribute, ast.Name)):
+                    candidates[t.id] = node.value
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign, ast.NamedExpr)):
+            t = node.target
+            if isinstance(t, ast.Name):
+                counts[t.id] = counts.get(t.id, 0) + 1
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            if isinstance(node.target, ast.Name):
+                counts[node.target.id] = counts.get(node.target.id, 0) + 2
+    for name, value in sorted(candidates.items()):
+        if counts.get(name, 0) != 1:
+            continue
+        described = scope.describe(value)
+        if described is not None:
+            scope.aliases[name] = described
+
+
+def extract(
+    fn: ast.FunctionDef, qualname: str, module: str, path: str
+) -> FunctionSummary:
+    """Direct effect summary + call sites of one function body."""
+    scope = _Scope(fn, module)
+    _collect_aliases(fn, scope)
+    arg_nodes = fn.args.posonlyargs + fn.args.args + fn.args.kwonlyargs
+    summary = FunctionSummary(
+        qualname=qualname,
+        module=module,
+        path=path,
+        line=fn.lineno,
+        node=fn,
+        params=scope.params,
+        param_annotations={
+            a.arg: a.annotation for a in arg_nodes if a.annotation is not None
+        },
+        local_binds=set(scope.locals),
+    )
+
+    def add(kind: str, node: ast.AST, target: ast.AST) -> None:
+        described = scope.describe(target)
+        if described is None:
+            return
+        root, name, chain = described
+        summary.effects.add(
+            Effect(
+                kind=kind,
+                root=root,
+                name=name,
+                chain=chain,
+                origin=qualname,
+                line=getattr(node, "lineno", fn.lineno),
+            )
+        )
+
+    for node in iter_body(fn):
+        if isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            targets = (
+                node.targets if isinstance(node, ast.Assign) else [node.target]
+            )
+            for t in targets:
+                if isinstance(t, (ast.Attribute, ast.Subscript)):
+                    add(WRITE, node, t)
+                elif (
+                    isinstance(t, ast.Name)
+                    and t.id in scope.globals_declared
+                ):
+                    # `global x; x = 1` rebinding.
+                    summary.effects.add(
+                        Effect(
+                            kind=WRITE,
+                            root=ROOT_GLOBAL,
+                            name=f"{module}.{t.id}",
+                            chain=(),
+                            origin=qualname,
+                            line=node.lineno,
+                        )
+                    )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Attribute):
+                if func.attr in MUTATOR_METHODS:
+                    # The conservative fallback: a mutator-named call
+                    # mutates its receiver whether or not the callee ever
+                    # resolves.
+                    add(MUTATE, node, func.value)
+                receiver = scope.describe(func.value)
+                summary.calls.append(
+                    CallSite(
+                        callee=func.attr,
+                        line=node.lineno,
+                        is_method=True,
+                        receiver=receiver,
+                        receiver_expr=func.value,
+                        args=tuple(
+                            scope.describe(a)
+                            if isinstance(a, (ast.Name, ast.Attribute))
+                            else None
+                            for a in node.args
+                        ),
+                        kwargs=tuple(
+                            (
+                                kw.arg,
+                                scope.describe(kw.value)
+                                if isinstance(
+                                    kw.value, (ast.Name, ast.Attribute)
+                                )
+                                else None,
+                            )
+                            for kw in node.keywords
+                            if kw.arg is not None
+                        ),
+                    )
+                )
+            elif isinstance(func, ast.Name):
+                summary.calls.append(
+                    CallSite(
+                        callee=func.id,
+                        line=node.lineno,
+                        is_method=False,
+                        receiver=None,
+                        args=tuple(
+                            scope.describe(a)
+                            if isinstance(a, (ast.Name, ast.Attribute))
+                            else None
+                            for a in node.args
+                        ),
+                        kwargs=tuple(
+                            (
+                                kw.arg,
+                                scope.describe(kw.value)
+                                if isinstance(
+                                    kw.value, (ast.Name, ast.Attribute)
+                                )
+                                else None,
+                            )
+                            for kw in node.keywords
+                            if kw.arg is not None
+                        ),
+                    )
+                )
+        elif isinstance(node, ast.Attribute) and isinstance(
+            node.ctx, ast.Load
+        ):
+            add(READ, node, node)
+    return summary
+
+
+def map_effect(
+    effect: Effect,
+    receiver: Optional[Tuple[str, str, Tuple[str, ...]]],
+    argmap: Dict[str, Optional[Tuple[str, str, Tuple[str, ...]]]],
+) -> Optional[Effect]:
+    """Re-root a callee effect into the caller's scope at one call edge.
+
+    * ``self``-rooted effects attach behind the receiver descriptor
+      (``None`` receiver — a constructor call or an unresolvable chain —
+      means the object is fresh or local: the effect is invisible to the
+      caller and drops);
+    * ``param``-rooted effects follow the argument bound to that
+      parameter (unbound or complex arguments drop for the same reason);
+    * ``global``-rooted effects pass through unchanged.
+    """
+    if effect.root == ROOT_GLOBAL:
+        return effect
+    if effect.root == ROOT_SELF:
+        anchor = receiver
+    else:
+        anchor = argmap.get(effect.name)
+    if anchor is None:
+        return None
+    root, name, chain = anchor
+    return Effect(
+        kind=effect.kind,
+        root=root,
+        name=name,
+        chain=truncate(chain + effect.chain),
+        origin=effect.origin,
+        line=effect.line,
+    )

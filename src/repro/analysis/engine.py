@@ -146,15 +146,12 @@ def load_context(path: str) -> Tuple[Optional[FileContext], Optional[Finding]]:
 
 
 def analyze_file(path: str, select: Optional[Sequence[str]] = None) -> List[Finding]:
-    """All (selected) rule findings for one file, suppressions applied."""
-    ctx, parse_error = load_context(path)
-    if ctx is None:
-        return [parse_error] if parse_error is not None else []
-    findings: List[Finding] = []
-    for rule in iter_rules(select):
-        findings.extend(rule.check(ctx))
-    findings = apply_suppressions(findings, parse_suppressions(ctx.lines), path)
-    findings.sort(key=lambda f: (f.line, f.col, f.code, f.message))
+    """All (selected) rule findings for one file, suppressions applied.
+
+    Delegates to :func:`analyze_paths` so project-scoped rules run even
+    on a single file (the whole-program view is then just that file —
+    which is exactly what the fixture corpus exercises)."""
+    findings, _ = analyze_paths([path], select=select)
     return findings
 
 
@@ -164,12 +161,53 @@ def analyze_paths(
     baseline: Optional[Set[str]] = None,
 ) -> Tuple[List[Finding], int]:
     """Findings over ``paths`` not grandfathered by ``baseline``; returns
-    ``(findings, baseline_suppressed_count)`` in deterministic order."""
+    ``(findings, baseline_suppressed_count)`` in deterministic order.
+
+    Runs in two passes: every file is parsed once and handed to the
+    file-scoped rules, then — if any project-scoped rule is selected —
+    a single :class:`~repro.analysis.project.ProjectContext` is built
+    over all parsed files and each project rule runs once against it.
+    Project findings anchor at concrete file/line locations, so the
+    per-line suppression and baseline machinery below treats the two
+    scopes identically."""
     baseline = baseline or set()
+    contexts: List[FileContext] = []
+    raw: List[Finding] = []
+    for path in iter_python_files(paths):
+        ctx, parse_error = load_context(path)
+        if ctx is None:
+            if parse_error is not None:
+                raw.append(parse_error)
+            continue
+        contexts.append(ctx)
+        for rule in iter_rules(select, scope="file"):
+            raw.extend(rule.check(ctx))
+
+    project_rules = list(iter_rules(select, scope="project"))
+    if project_rules and contexts:
+        # Imported lazily: project.py needs FileContext from this module.
+        from .project import ProjectContext
+
+        pctx = ProjectContext.build(contexts)
+        for rule in project_rules:
+            raw.extend(rule.check(pctx))
+
+    suppressions = {
+        ctx.path: parse_suppressions(ctx.lines) for ctx in contexts
+    }
+    by_path: Dict[str, List[Finding]] = {}
+    for f in raw:
+        by_path.setdefault(f.path, []).append(f)
+
     out: List[Finding] = []
     grandfathered = 0
-    for path in iter_python_files(paths):
-        for f in analyze_file(path, select):
+    # Union so a file whose only problem is a reasonless noqa (no rule
+    # findings at all) still gets its RPR000 meta-finding.
+    for path in sorted(set(by_path) | set(suppressions)):
+        kept = apply_suppressions(
+            by_path.get(path, []), suppressions.get(path, {}), path
+        )
+        for f in kept:
             if f.fingerprint in baseline:
                 grandfathered += 1
             else:

@@ -1,0 +1,144 @@
+"""RPR009 — merge-barrier discipline on the coordinator side.
+
+The parallel executor's determinism argument needs both halves: workers
+must be pure (RPR006/RPR007/RPR008), and the **coordinator** must route
+every mutation of executor-visible scheduler state through the blessed
+merge path — :meth:`Classifier.apply` (or the serial ``classify``
+composition), applied at the barrier in shard-index order.  A stray
+coordinator-side write from inside the classify phase — say
+``_phase_classify`` poking ``self.cache.runnable`` directly, or an
+executor's ``run_classify`` reaching into the live table between
+derives — mutates state the in-flight workers were promised is frozen.
+
+The rule checks two families of coordinator entry points with a
+**restricted closure** (:meth:`ProjectContext.restricted_effects`):
+
+* ``_phase_classify`` methods, with the sanctioned phase calls
+  (``run_classify``, ``take_check_slices``, ``abort``) treated as
+  opaque — those are the blessed route into the executor and the
+  post-barrier abort path;
+* ``run_classify`` methods of ``*Executor`` classes, with the merge
+  entrypoints (``apply``, ``classify``, ``derive``) treated as opaque —
+  the executor may *schedule* derives and *apply* at the barrier, but
+  never mutate scheduler state itself.
+
+What remains in the closure is, by construction, "everything this
+coordinator code does *outside* the blessed path".  Any write in it
+whose target is executor-visible — a ``self`` chain rooted at one of
+the scheduler's layers (``live``/``table``/``graph``/``cache``/``log``/
+``classifier``/``metrics``), a mutation through a phase-input parameter
+other than the ``aborts`` out-channel, or a module global — is flagged
+at the concrete mutation site.  Executor-private accounting
+(``self.stats``, pool handles, per-shard buffers) stays invisible to
+the scheduler and is deliberately not banned.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Tuple
+
+from .core import Finding, register_rule
+from .effects import Effect, ROOT_GLOBAL, ROOT_PARAM, ROOT_SELF
+
+CODE = "RPR009"
+
+#: Calls a ``_phase_classify`` body may make without their effects
+#: counting against it: the executor hand-off and the post-barrier
+#: abort path.
+PHASE_SANCTIONED_CALLS = frozenset({"run_classify", "take_check_slices", "abort"})
+
+#: Calls an executor's ``run_classify`` may make: the merge entrypoints.
+MERGE_SANCTIONED_CALLS = frozenset({"apply", "classify", "derive"})
+
+#: ``self.<attr>`` roots that are executor-visible scheduler state.
+EXECUTOR_VISIBLE_ATTRS = frozenset(
+    {"live", "table", "graph", "cache", "log", "classifier", "metrics"}
+)
+
+#: Parameters that are sanctioned out-channels (the phase-2 abort list
+#: is filled at the barrier and drained by the coordinator afterwards).
+OUT_CHANNEL_PARAMS = frozenset({"aborts"})
+
+_KIND_VERB = {"write": "writes", "mutate": "mutates"}
+
+
+def _banned(eff: Effect) -> bool:
+    if not (eff.is_write and eff.shared):
+        return False
+    if eff.shard_partitioned:
+        return False
+    if eff.root == ROOT_SELF:
+        return bool(eff.chain) and eff.chain[0] in EXECUTOR_VISIBLE_ATTRS
+    if eff.root == ROOT_PARAM:
+        return eff.name not in OUT_CHANNEL_PARAMS
+    return eff.root == ROOT_GLOBAL
+
+
+def _subjects(pctx) -> List[Tuple[str, FrozenSet[str], str]]:
+    """(qualname, sanctioned-call cutoff, contract description)."""
+    out: List[Tuple[str, FrozenSet[str], str]] = []
+    for qual in sorted(pctx.summaries()):
+        summary = pctx.summary(qual)
+        info = pctx.table.method_class.get(qual)
+        if summary.node.name == "_phase_classify":
+            out.append(
+                (
+                    qual,
+                    PHASE_SANCTIONED_CALLS,
+                    "the classify phase mutates scheduler state only "
+                    "through the executor hand-off and the post-barrier "
+                    "abort path",
+                )
+            )
+        elif (
+            info is not None
+            and info.name.endswith("Executor")
+            and summary.node.name == "run_classify"
+        ):
+            out.append(
+                (
+                    qual,
+                    MERGE_SANCTIONED_CALLS,
+                    "executors mutate scheduler state only through the "
+                    "merge entrypoints (apply/classify/derive)",
+                )
+            )
+    return out
+
+
+@register_rule(
+    CODE,
+    "merge-barrier-discipline",
+    "coordinator-side classify code may mutate executor-visible state "
+    "only through the sanctioned merge path",
+    scope="project",
+)
+def check_merge_barrier(pctx) -> List[Finding]:
+    out: List[Finding] = []
+    subjects = _subjects(pctx)
+    # One restricted closure per cutoff set, limited to its subjects'
+    # reachable subgraph (the whole-program fixpoint is not needed here).
+    closures = {}
+    for sanctioned in {s for _, s, _ in subjects}:
+        roots = [q for q, s, _ in subjects if s == sanctioned]
+        closures[sanctioned] = pctx.restricted_effects(sanctioned, roots=roots)
+    for qual, sanctioned, contract in subjects:
+        effects = sorted(
+            closures[sanctioned].get(qual, ()),
+            key=lambda e: (e.origin, e.line, e.kind, e.render()),
+        )
+        for eff in effects:
+            if not _banned(eff):
+                continue
+            via = "" if eff.origin == qual else f" via '{eff.origin}'"
+            out.append(
+                pctx.finding(
+                    CODE,
+                    eff.origin if eff.origin in pctx.summaries() else qual,
+                    f"'{qual}' {_KIND_VERB[eff.kind]} executor-visible "
+                    f"state '{eff.render()}'{via}, outside the sanctioned "
+                    f"merge path; {contract}",
+                    line=eff.line,
+                )
+            )
+    return out

@@ -1,0 +1,185 @@
+"""The whole-program view handed to project-scoped rules.
+
+A :class:`ProjectContext` is built once per ``analyze_paths`` run from
+all successfully-parsed :class:`FileContext`s.  It holds:
+
+* the :class:`~repro.analysis.callgraph.SymbolTable` (modules, classes,
+  attribute types, per-function direct summaries),
+* the resolved :class:`~repro.analysis.callgraph.CallGraph`, and
+* **transitive effect sets** — each function's direct effects unioned
+  with every resolved callee's effects re-rooted into its scope,
+  propagated to a fixpoint.
+
+The fixpoint is a reverse-edge worklist: when a function's effect set
+grows, its callers are requeued.  Termination is guaranteed because the
+effect lattice is finite — chains are truncated at
+:data:`~repro.analysis.effects.MAX_CHAIN`, roots and names are drawn
+from the program text — and the per-function set only ever grows.
+
+:func:`propagate` is exposed separately (with a ``skip_call_names``
+cutoff) so rules can recompute restricted closures: RPR009 walks the
+coordinator's phase methods while treating the sanctioned merge
+entrypoints (``apply``/``run_classify``/...) as opaque, which is exactly
+"what does this code touch *outside* the blessed path".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Sequence
+
+from .callgraph import CallGraph, ResolvedCall, SymbolTable
+from .core import Finding
+from .effects import Effect, FunctionSummary, map_effect
+
+
+def propagate(
+    summaries: Mapping[str, FunctionSummary],
+    edges: Mapping[str, Sequence[ResolvedCall]],
+    skip_call_names: FrozenSet[str] = frozenset(),
+    roots: Optional[Iterable[str]] = None,
+) -> Dict[str, FrozenSet[Effect]]:
+    """Fixpoint of effect sets over the call graph.
+
+    ``skip_call_names`` names callee *call-site spellings* (the
+    rightmost name as written, e.g. ``"apply"``) whose edges are not
+    followed — the callee is treated as effect-free for this closure.
+
+    ``roots`` restricts the computation to the functions reachable from
+    the given qualnames (restricted closures only need their subjects'
+    downstream subgraph, not the whole program).
+    """
+    if roots is None:
+        scope = set(summaries)
+    else:
+        scope = set()
+        frontier = [q for q in roots if q in summaries]
+        while frontier:
+            qual = frontier.pop()
+            if qual in scope:
+                continue
+            scope.add(qual)
+            for edge in edges.get(qual, ()):
+                if edge.callee_name in skip_call_names:
+                    continue
+                if edge.target in summaries:
+                    frontier.append(edge.target)
+
+    state: Dict[str, set] = {
+        qual: set(summaries[qual].effects) for qual in scope
+    }
+    callers_of: Dict[str, List[str]] = {}
+    for caller in sorted(scope):
+        for edge in edges.get(caller, ()):
+            if edge.callee_name in skip_call_names:
+                continue
+            callers_of.setdefault(edge.target, []).append(caller)
+
+    # Per (caller, edge) count of callee effects already mapped: an edge
+    # whose callee set hasn't grown since last time maps nothing new.
+    processed: Dict[tuple, int] = {}
+
+    def absorb(caller: str) -> bool:
+        grew = False
+        mine = state[caller]
+        for i, edge in enumerate(edges.get(caller, ())):
+            if edge.callee_name in skip_call_names:
+                continue
+            callee_effects = state.get(edge.target)
+            if not callee_effects:
+                continue
+            if processed.get((caller, i)) == len(callee_effects):
+                continue
+            argmap = dict(edge.argmap)
+            # Snapshot: on a self-recursive edge the callee's set IS the
+            # caller's set being grown.
+            snapshot = tuple(callee_effects)
+            processed[(caller, i)] = len(snapshot)
+            for eff in snapshot:
+                mapped = map_effect(eff, edge.receiver, argmap)
+                if mapped is not None and mapped not in mine:
+                    mine.add(mapped)
+                    grew = True
+        return grew
+
+    # Seed deterministically, then chase growth through reverse edges.
+    worklist = deque(sorted(state))
+    queued = set(worklist)
+    while worklist:
+        qual = worklist.popleft()
+        queued.discard(qual)
+        if absorb(qual):
+            for caller in callers_of.get(qual, ()):
+                if caller in state and caller not in queued:
+                    worklist.append(caller)
+                    queued.add(caller)
+    return {qual: frozenset(effs) for qual, effs in state.items()}
+
+
+class ProjectContext:
+    """Symbol table + call graph + transitive effects for one run."""
+
+    def __init__(
+        self,
+        contexts: Sequence,
+        table: SymbolTable,
+        graph: CallGraph,
+        transitive: Dict[str, FrozenSet[Effect]],
+    ) -> None:
+        self.contexts = list(contexts)
+        self.table = table
+        self.graph = graph
+        self._transitive = transitive
+
+    @classmethod
+    def build(cls, contexts: Sequence) -> "ProjectContext":
+        table = SymbolTable.build(contexts)
+        graph = CallGraph(table)
+        transitive = propagate(table.summaries, graph.edges)
+        return cls(contexts, table, graph, transitive)
+
+    # ------------------------------------------------------------------
+
+    def summaries(self) -> Dict[str, FunctionSummary]:
+        return self.table.summaries
+
+    def summary(self, qualname: str) -> Optional[FunctionSummary]:
+        return self.table.summaries.get(qualname)
+
+    def transitive_effects(self, qualname: str) -> FrozenSet[Effect]:
+        """The function's fixpoint effect set (empty for unknown names)."""
+        return self._transitive.get(qualname, frozenset())
+
+    def restricted_effects(
+        self,
+        skip_call_names: Iterable[str],
+        roots: Optional[Iterable[str]] = None,
+    ) -> Dict[str, FrozenSet[Effect]]:
+        """A fresh closure that does not follow edges to the named
+        callees (see :func:`propagate`); ``roots`` limits it to their
+        reachable subgraph."""
+        return propagate(
+            self.table.summaries,
+            self.graph.edges,
+            frozenset(skip_call_names),
+            roots=roots,
+        )
+
+    def finding(
+        self,
+        code: str,
+        qualname: str,
+        message: str,
+        line: Optional[int] = None,
+    ) -> Finding:
+        """A finding anchored at ``qualname``'s source location (or an
+        explicit ``line`` inside its file) so suppressions and baselines
+        treat project findings exactly like file findings."""
+        summary = self.table.summaries[qualname]
+        return Finding(
+            code=code,
+            path=summary.path,
+            line=line if line is not None else summary.line,
+            col=0,
+            message=message,
+        )

@@ -1,0 +1,109 @@
+"""RPR008 — cross-shard write-write races on the executor's worker side.
+
+Two shard workers run concurrently.  Any attribute both of their code
+paths can write — unless the writes are routed through ``_part()`` (each
+worker touches only its own shard's partition) or a per-shard buffer
+parameter — is a write-write race: last-writer-wins by thread timing,
+which breaks byte-identical replay even when each individual write looks
+innocent from its own function.
+
+The rule collects the **worker-side roots** — every ``@shard_phase``
+callable, plus any function handed to ``.submit(...)`` inside a
+``*Executor`` class (a worker entry point that forgot its decorator is
+still a worker entry point) — takes each root's fixpoint effect set, and
+groups the shared, non-shard-partitioned writes by abstract target
+(root kind, root name, attribute chain).  A target written from **two or
+more distinct source sites** is flagged at every site: one site alone is
+a (transitive) purity problem and already RPR007's finding; two sites on
+the same target is the racing pair this rule exists for.
+
+The abstract-target grouping is deliberately name-based: two workers
+writing ``shared.tally`` through parameters *named the same* are treated
+as racing on the same object.  That is conservative in exactly the
+direction the executor's calling convention makes true — every slice is
+handed the same frozen phase inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from .core import Finding, register_rule
+from .effects import ROOT_GLOBAL
+from .transitive_purity import is_shard_phase
+
+CODE = "RPR008"
+
+
+def worker_roots(pctx) -> List[str]:
+    """Worker-side entry points: ``@shard_phase`` callables plus
+    ``.submit()`` targets inside ``*Executor`` classes."""
+    roots: Set[str] = set()
+    for qual in sorted(pctx.summaries()):
+        summary = pctx.summary(qual)
+        if is_shard_phase(summary.node):
+            roots.add(qual)
+    for qual in sorted(pctx.summaries()):
+        info = pctx.table.method_class.get(qual)
+        if info is None or not info.name.endswith("Executor"):
+            continue
+        for site in pctx.summary(qual).calls:
+            if site.callee != "submit" or not site.args:
+                continue
+            desc = site.args[0]
+            # The submitted callable: a plain module-level name
+            # (root=global, no attribute chain) we can resolve.
+            if desc is None or desc[0] != ROOT_GLOBAL or desc[2]:
+                continue
+            resolved = pctx.table.resolve_global(desc[1])
+            if isinstance(resolved, str):
+                roots.add(resolved)
+    return sorted(roots)
+
+
+@register_rule(
+    CODE,
+    "cross-shard-races",
+    "no two worker-reachable paths may write the same "
+    "non-shard-partitioned attribute",
+    scope="project",
+)
+def check_shard_races(pctx) -> List[Finding]:
+    # Abstract target -> {(origin, line, kind)} write sites, and the
+    # worker roots that reach it (for the message).
+    sites: Dict[Tuple[str, str, Tuple[str, ...]], Set[Tuple[str, int, str]]] = {}
+    reaching: Dict[Tuple[str, str, Tuple[str, ...]], Set[str]] = {}
+    renders: Dict[Tuple[str, str, Tuple[str, ...]], str] = {}
+    for root in worker_roots(pctx):
+        for eff in pctx.transitive_effects(root):
+            if not (eff.is_write and eff.shared):
+                continue
+            if eff.shard_partitioned:
+                continue
+            key = (eff.root, eff.name, eff.chain)
+            sites.setdefault(key, set()).add((eff.origin, eff.line, eff.kind))
+            reaching.setdefault(key, set()).add(root)
+            renders[key] = eff.render()
+    out: List[Finding] = []
+    for key in sorted(sites):
+        racy = sorted(sites[key])
+        if len(racy) < 2:
+            continue  # one site: RPR007's (transitive purity) territory
+        target = renders[key]
+        roots = ", ".join(f"'{r}'" for r in sorted(reaching[key]))
+        for origin, line, _kind in racy:
+            others = ", ".join(
+                f"{o}:{ln}" for o, ln, _ in racy if (o, ln) != (origin, line)
+            )
+            out.append(
+                pctx.finding(
+                    CODE,
+                    origin,
+                    f"cross-shard write-write race: '{target}' is written "
+                    f"here and at {others}, all reachable from worker-side "
+                    f"root(s) {roots}; partition the target with _part() "
+                    "or route through per-shard buffers",
+                    line=line,
+                )
+            )
+    return out

@@ -1,0 +1,108 @@
+"""RPR007 — *transitive* phase purity of shard-phase callables.
+
+RPR006 checks the shard-locality contract one function body deep: a
+``@shard_phase`` callable may not itself write anything but its
+per-shard buffer.  The hole it cannot see is a pure-looking wrapper
+calling an impure helper — possibly in another module — whose mutation
+then runs on a shard worker anyway.  This rule closes it with the
+whole-program view: for every worker-side root (any ``@shard_phase``
+callable, plus :meth:`Classifier.derive` — the undecorated pure-read
+half the executor fans out), the **fixpoint effect set**
+(:class:`~repro.analysis.project.ProjectContext`) must contain no
+shared-state write or mutator.
+
+Division of labour with RPR006: effects whose *origin* is the root
+itself (a direct write in the decorated body) are RPR006's finding and
+are skipped here — RPR007 flags only callee-carried effects, so a
+violation is reported exactly once, by the rule that can point at the
+right contract.  ``Classifier.derive`` has no decorator for RPR006 to
+key on, so for ``derive`` roots direct effects are flagged here too.
+
+Effects routed through ``_part()`` (the shard router: the receiver is
+one shard's own partition) and writes through recognised per-shard
+buffer parameters are sanctioned, exactly as in RPR006/RPR005.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List
+
+from .core import Finding, register_rule
+
+CODE = "RPR007"
+
+_DECORATOR = "shard_phase"
+
+_KIND_VERB = {"write": "writes", "mutate": "mutates"}
+
+
+def is_shard_phase(fn: ast.FunctionDef) -> bool:
+    """Decorated ``@shard_phase`` (bare name or attribute, with or
+    without call parens) — the same detection RPR006 uses."""
+    for dec in fn.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Name) and target.id == _DECORATOR:
+            return True
+        if isinstance(target, ast.Attribute) and target.attr == _DECORATOR:
+            return True
+    return False
+
+
+def worker_purity_roots(pctx) -> List[tuple]:
+    """(qualname, is_decorated) for every function held to the worker
+    purity contract: ``@shard_phase`` callables and ``derive`` methods
+    of ``Classifier`` classes."""
+    roots: List[tuple] = []
+    for qual in sorted(pctx.summaries()):
+        summary = pctx.summary(qual)
+        if is_shard_phase(summary.node):
+            roots.append((qual, True))
+            continue
+        info = pctx.table.method_class.get(qual)
+        if (
+            info is not None
+            and summary.node.name == "derive"
+            and info.name.endswith("Classifier")
+        ):
+            roots.append((qual, False))
+    return roots
+
+
+@register_rule(
+    CODE,
+    "transitive-phase-purity",
+    "shard-phase callables must be transitively pure: no shared-state "
+    "write or mutator anywhere in their call graph",
+    scope="project",
+)
+def check_transitive_purity(pctx) -> List[Finding]:
+    out: List[Finding] = []
+    for qual, decorated in worker_purity_roots(pctx):
+        effects = sorted(
+            pctx.transitive_effects(qual),
+            key=lambda e: (e.origin, e.line, e.kind, e.render()),
+        )
+        for eff in effects:
+            if not (eff.is_write and eff.shared):
+                continue
+            if eff.shard_partitioned:
+                continue
+            if decorated and eff.origin == qual:
+                continue  # a direct write in the decorated body: RPR006's finding
+            via = (
+                ""
+                if eff.origin == qual
+                else f" via '{eff.origin}' (line {eff.line})"
+            )
+            out.append(
+                pctx.finding(
+                    CODE,
+                    qual,
+                    f"worker-side callable '{qual}' must be pure but "
+                    f"transitively {_KIND_VERB[eff.kind]} shared state "
+                    f"'{eff.render()}'{via}; route results through the "
+                    "per-shard buffer",
+                )
+            )
+    return out

@@ -406,7 +406,10 @@ class Classifier:
         ``needs_admission`` sessions off workers), the lock table's holder
         map for the pending entity, and the live table; during the
         classify phase all of these are frozen, so derivations of distinct
-        sessions commute and may run on shard workers."""
+        sessions commute and may run on shard workers.  Lint rule RPR007
+        verifies the purity claim transitively: every write or mutation
+        reachable from ``derive`` through the whole-program call graph is
+        a finding."""
         name = entry.item.name
         step = entry.session.peek()
         assert step is not None

@@ -21,7 +21,11 @@ lock-free sessions).  An executor decides *how* those slices are walked:
   decisions are applied (:meth:`Classifier.apply`) on the coordinator in
   shard-index order, global slice last.
 
-**Shard-locality contract** (statically enforced by lint rule RPR006):
+**Shard-locality contract** (statically enforced by lint rules RPR006
+directly and RPR007 through the whole-program call graph, with RPR008
+checking that no two worker-reachable sites race on the same shared
+target and RPR009 that the coordinator merge path below only mutates
+scheduler state through the sanctioned calls):
 a shard-phase callable — anything decorated :func:`shard_phase`, the
 only code that runs on workers — may read the frozen phase inputs it is
 handed (the live table, the derive callable, its slice of names) and
@@ -77,7 +81,9 @@ def shard_phase(fn: Callable) -> Callable:
     """Mark ``fn`` as a shard-phase callable: code that may run on a
     shard worker and must obey the shard-locality contract (reads frozen
     phase inputs, writes only its per-shard buffer).  The marker is what
-    lint rule RPR006 keys on."""
+    lint rule RPR006 keys on; the whole-program rules RPR007/RPR008 use
+    it to seed the set of worker roots whose transitive effect closure
+    must stay shard-local."""
     fn.__shard_phase__ = True
     return fn
 

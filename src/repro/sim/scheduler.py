@@ -499,7 +499,9 @@ class _Run:
         applies at the merge barrier, in shard-index order.  Phase-2
         policy aborts (global slice only) are applied after the barrier,
         in the legacy sorted order; returns whether any occurred (which
-        ends the tick)."""
+        ends the tick).  Lint rule RPR009 pins this shape: the phase body
+        may mutate scheduler state only through ``take_check_slices``,
+        ``run_classify``, and ``abort``."""
         aborts: List[Tuple[LiveEntry, str]] = []
         slices, global_slice = self.cache.take_check_slices(
             self.table.shard_of, self.table.shards

@@ -1,0 +1,22 @@
+# repro-lint-module: repro.sim.fixture_rpr007_bad
+"""RPR007-positive fixture: a shard-phase callable that looks pure one
+body deep (RPR006-clean) but calls a helper whose body mutates shared
+state — the transitive hole only the whole-program analysis sees."""
+
+
+def shard_phase(fn):
+    fn.__shard_phase__ = True
+    return fn
+
+
+def bump_totals(stats, name):
+    # Mutates shared state on behalf of the worker that calls it.
+    stats.seen.append(name)
+
+
+@shard_phase
+def classify_slice(live, names, stats, buf):
+    for name in names:
+        bump_totals(stats, name)
+        buf.decisions.append(live[name])
+    return buf

@@ -1,0 +1,20 @@
+# repro-lint-module: repro.sim.fixture_rpr007_good
+"""RPR007-negative fixture: the shard-phase callable's helpers are pure
+— reads of frozen inputs, results routed through the per-shard buffer."""
+
+
+def shard_phase(fn):
+    fn.__shard_phase__ = True
+    return fn
+
+
+def derive_one(live, name):
+    entry = live[name]
+    return (name, entry.state)
+
+
+@shard_phase
+def classify_slice(live, names, buf):
+    for name in names:
+        buf.decisions.append(derive_one(live, name))
+    return buf

@@ -1,0 +1,24 @@
+# repro-lint-module: repro.sim.fixture_rpr008_bad
+"""RPR008-positive fixture: two worker entry points fanned out by an
+executor's ``.submit()`` both write the same non-shard-partitioned
+attribute — a write-write race decided by thread timing."""
+
+
+def tally_reads(shared, names):
+    shared.tally = shared.tally + len(names)
+
+
+def tally_writes(shared, names):
+    shared.tally = shared.tally + 2 * len(names)
+
+
+class FanoutExecutor:
+    def __init__(self, pool):
+        self._pool = pool
+
+    def run_all(self, shared, names):
+        futures = [
+            self._pool.submit(tally_reads, shared, names),
+            self._pool.submit(tally_writes, shared, names),
+        ]
+        return [f.result() for f in futures]

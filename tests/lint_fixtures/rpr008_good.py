@@ -1,0 +1,23 @@
+# repro-lint-module: repro.sim.fixture_rpr008_good
+"""RPR008-negative fixture: worker writes are shard-partitioned — each
+entry point writes only its own shard's partition via ``_part()``."""
+
+
+def tally_reads(shared, shard, names):
+    shared._part(shard).tally = len(names)
+
+
+def tally_writes(shared, shard, names):
+    shared._part(shard).written = 2 * len(names)
+
+
+class FanoutExecutor:
+    def __init__(self, pool):
+        self._pool = pool
+
+    def run_all(self, shared, names):
+        futures = [
+            self._pool.submit(tally_reads, shared, 0, names),
+            self._pool.submit(tally_writes, shared, 1, names),
+        ]
+        return [f.result() for f in futures]

@@ -1,0 +1,29 @@
+# repro-lint-module: repro.sim.fixture_rpr009_bad
+"""RPR009-positive fixture: the classify phase pokes executor-visible
+state (the cache's runnable set) directly, outside the sanctioned
+executor hand-off / post-barrier abort path."""
+
+
+class MiniRun:
+    def __init__(self, cache, table, executor, classifier, live):
+        self.cache = cache
+        self.table = table
+        self.executor = executor
+        self.classifier = classifier
+        self.live = live
+
+    def abort(self, entry, reason):
+        raise NotImplementedError
+
+    def _phase_classify(self):
+        aborts = []
+        slices, global_slice = self.cache.take_check_slices(
+            self.table.shard_of, 4
+        )
+        self.cache.runnable.add("t1")  # direct poke outside the merge path
+        self.executor.run_classify(
+            self.classifier, self.live, slices, global_slice, aborts
+        )
+        for entry, reason in aborts:
+            self.abort(entry, reason)
+        return bool(aborts)

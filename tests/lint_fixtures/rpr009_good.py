@@ -1,0 +1,28 @@
+# repro-lint-module: repro.sim.fixture_rpr009_good
+"""RPR009-negative fixture: the classify phase mutates scheduler state
+only through the sanctioned calls — the executor hand-off and the
+post-barrier abort path."""
+
+
+class MiniRun:
+    def __init__(self, cache, table, executor, classifier, live):
+        self.cache = cache
+        self.table = table
+        self.executor = executor
+        self.classifier = classifier
+        self.live = live
+
+    def abort(self, entry, reason):
+        raise NotImplementedError
+
+    def _phase_classify(self):
+        aborts = []
+        slices, global_slice = self.cache.take_check_slices(
+            self.table.shard_of, 4
+        )
+        self.executor.run_classify(
+            self.classifier, self.live, slices, global_slice, aborts
+        )
+        for entry, reason in aborts:
+            self.abort(entry, reason)
+        return bool(aborts)

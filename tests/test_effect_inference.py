@@ -1,0 +1,391 @@
+"""The whole-program effect-inference machinery under ``repro.analysis``:
+direct effect extraction, receiver-type resolution through the symbol
+table, mutator-call classification, fixpoint convergence on recursive
+and cyclic call graphs, and the unresolved-call conservative fallback.
+"""
+
+from repro.analysis.effects import (
+    MAX_CHAIN,
+    MUTATE,
+    READ,
+    ROOT_GLOBAL,
+    ROOT_PARAM,
+    ROOT_SELF,
+    UNRESOLVED_DYNAMIC,
+    UNRESOLVED_UNKNOWN_NAME,
+    UNRESOLVED_UNKNOWN_RECEIVER,
+    WRITE,
+)
+from repro.analysis.engine import load_context
+from repro.analysis.project import ProjectContext, propagate
+
+
+def build(tmp_path, files):
+    """A ProjectContext over ``{relpath: source}`` under a src/ tree."""
+    for rel, source in files.items():
+        path = tmp_path / "src" / "repro" / "sim" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source)
+    contexts = []
+    for rel in sorted(files):
+        ctx, err = load_context(str(tmp_path / "src" / "repro" / "sim" / rel))
+        assert err is None
+        contexts.append(ctx)
+    return ProjectContext.build(contexts)
+
+
+def effects_of(pctx, qualname, kind=None):
+    out = pctx.transitive_effects(qualname)
+    if kind is not None:
+        out = {e for e in out if e.kind == kind}
+    return out
+
+
+class TestDirectExtraction:
+    def test_write_read_and_mutator_classification(self, tmp_path):
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "class Box:\n"
+                    "    def poke(self, item):\n"
+                    "        self.count = self.count + 1\n"
+                    "        self.items.append(item)\n"
+                    "        item.tags.add('seen')\n"
+                )
+            },
+        )
+        effs = effects_of(pctx, "repro.sim.m.Box.poke")
+        writes = {(e.root, e.chain) for e in effs if e.kind == WRITE}
+        mutates = {(e.root, e.name, e.chain) for e in effs if e.kind == MUTATE}
+        reads = {(e.root, e.chain) for e in effs if e.kind == READ}
+        assert (ROOT_SELF, ("count",)) in writes
+        assert (ROOT_SELF, "self", ("items",)) in mutates
+        assert (ROOT_PARAM, "item", ("tags",)) in mutates
+        assert (ROOT_SELF, ("count",)) in reads
+
+    def test_locals_and_buffer_params_carry_no_effects(self, tmp_path):
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "def phase(names, buf):\n"
+                    "    scratch = []\n"
+                    "    for n in names:\n"
+                    "        scratch.append(n)\n"
+                    "        buf.decisions.append(n)\n"
+                    "    return scratch\n"
+                )
+            },
+        )
+        assert effects_of(pctx, "repro.sim.m.phase", WRITE) == set()
+        assert effects_of(pctx, "repro.sim.m.phase", MUTATE) == set()
+
+    def test_single_assignment_alias_of_attribute_chain(self, tmp_path):
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "class C:\n"
+                    "    def touch(self):\n"
+                    "        d = self.cache.dirty\n"
+                    "        d.add('x')\n"
+                )
+            },
+        )
+        effs = effects_of(pctx, "repro.sim.m.C.touch", MUTATE)
+        assert {(e.root, e.chain) for e in effs} == {
+            (ROOT_SELF, ("cache", "dirty"))
+        }
+
+    def test_global_rebinding_and_module_global_mutation(self, tmp_path):
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "TOTALS = []\n"
+                    "COUNT = 0\n"
+                    "def bump():\n"
+                    "    global COUNT\n"
+                    "    COUNT = COUNT + 1\n"
+                    "    TOTALS.append(COUNT)\n"
+                )
+            },
+        )
+        effs = effects_of(pctx, "repro.sim.m.bump")
+        assert (WRITE, ROOT_GLOBAL, "repro.sim.m.COUNT") in {
+            (e.kind, e.root, e.name) for e in effs
+        }
+        assert (MUTATE, ROOT_GLOBAL, "repro.sim.m.TOTALS") in {
+            (e.kind, e.root, e.name) for e in effs
+        }
+
+
+class TestReceiverTypeResolution:
+    FILES = {
+        "table.py": (
+            "class LockTable:\n"
+            "    def blockers(self, name):\n"
+            "        return sorted(self.holders)\n"
+            "    def enqueue(self, name):\n"
+            "        self.waiters.append(name)\n"
+        ),
+        "user.py": (
+            "from .table import LockTable\n"
+            "class Classifier:\n"
+            "    def __init__(self, table: LockTable, cache):\n"
+            "        self.table = table\n"
+            "        self.cache = cache\n"
+            "    def derive(self, name):\n"
+            "        return self.table.blockers(name)\n"
+            "    def stall(self, name):\n"
+            "        self.table.enqueue(name)\n"
+        ),
+    }
+
+    def test_annotated_init_param_resolves_self_attr_calls(self, tmp_path):
+        pctx = build(tmp_path, self.FILES)
+        edges = pctx.graph.edges["repro.sim.user.Classifier.derive"]
+        assert [e.target for e in edges] == [
+            "repro.sim.table.LockTable.blockers"
+        ]
+
+    def test_callee_self_effects_reroot_behind_the_receiver(self, tmp_path):
+        pctx = build(tmp_path, self.FILES)
+        effs = effects_of(pctx, "repro.sim.user.Classifier.stall", MUTATE)
+        assert {(e.root, e.chain) for e in effs} == {
+            (ROOT_SELF, ("table", "waiters"))
+        }
+        # The effect still points back at the concrete mutation site.
+        (eff,) = effs
+        assert eff.origin == "repro.sim.table.LockTable.enqueue"
+
+    def test_annotated_parameter_resolves_method_calls(self, tmp_path):
+        pctx = build(
+            tmp_path,
+            {
+                **self.FILES,
+                "caller.py": (
+                    "from .table import LockTable\n"
+                    "def poke(table: LockTable, name):\n"
+                    "    table.enqueue(name)\n"
+                ),
+            },
+        )
+        effs = effects_of(pctx, "repro.sim.caller.poke", MUTATE)
+        assert {(e.root, e.name, e.chain) for e in effs} == {
+            (ROOT_PARAM, "table", ("waiters",))
+        }
+
+    def test_constructor_call_gets_fresh_receiver(self, tmp_path):
+        """A constructed object is new: its __init__'s self-writes are
+        invisible to the caller."""
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "class Buf:\n"
+                    "    def __init__(self):\n"
+                    "        self.items = []\n"
+                    "def make():\n"
+                    "    return Buf()\n"
+                )
+            },
+        )
+        assert effects_of(pctx, "repro.sim.m.make", WRITE) == set()
+
+    def test_class_level_annotation_resolves_attr_type(self, tmp_path):
+        pctx = build(
+            tmp_path,
+            {
+                **self.FILES,
+                "entry.py": (
+                    "from .table import LockTable\n"
+                    "class Entry:\n"
+                    "    table: LockTable\n"
+                    "def poke(entry: Entry):\n"
+                    "    entry.table.enqueue('x')\n"
+                ),
+            },
+        )
+        effs = effects_of(pctx, "repro.sim.entry.poke", MUTATE)
+        assert {(e.root, e.name, e.chain) for e in effs} == {
+            (ROOT_PARAM, "entry", ("table", "waiters"))
+        }
+
+
+class TestFixpointConvergence:
+    def test_self_recursion_converges_with_chain_truncation(self, tmp_path):
+        """``walk`` recursing through ``self.child`` would grow chains
+        forever; truncation at MAX_CHAIN bounds the lattice."""
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "class Node:\n"
+                    "    def walk(self):\n"
+                    "        self.child.visits.append(1)\n"
+                    "        self.child.walk()\n"
+                )
+            },
+        )
+        effs = effects_of(pctx, "repro.sim.m.Node.walk", MUTATE)
+        assert effs  # converged, non-empty
+        assert all(len(e.chain) <= MAX_CHAIN + 1 for e in effs)
+
+    def test_mutual_recursion_cycle_converges(self, tmp_path):
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "class Pair:\n"
+                    "    def ping(self, log):\n"
+                    "        log.entries.append('ping')\n"
+                    "        self.pong(log)\n"
+                    "    def pong(self, log):\n"
+                    "        log.entries.append('pong')\n"
+                    "        self.ping(log)\n"
+                )
+            },
+        )
+        for meth in ("ping", "pong"):
+            effs = effects_of(pctx, f"repro.sim.m.Pair.{meth}", MUTATE)
+            # Each side sees both mutation sites through the cycle.
+            assert {e.origin for e in effs} == {
+                "repro.sim.m.Pair.ping",
+                "repro.sim.m.Pair.pong",
+            }
+
+    def test_propagation_is_transitive_over_three_hops(self, tmp_path):
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "def a(state):\n"
+                    "    b(state)\n"
+                    "def b(state):\n"
+                    "    c(state)\n"
+                    "def c(state):\n"
+                    "    state.log.append('hit')\n"
+                )
+            },
+        )
+        effs = effects_of(pctx, "repro.sim.m.a", MUTATE)
+        assert {(e.root, e.name, e.chain) for e in effs} == {
+            (ROOT_PARAM, "state", ("log",))
+        }
+        (eff,) = effs
+        assert eff.origin == "repro.sim.m.c"
+
+    def test_skip_call_names_cuts_the_closure(self, tmp_path):
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "def outer(state):\n"
+                    "    blessed(state)\n"
+                    "    stray(state)\n"
+                    "def blessed(state):\n"
+                    "    state.a.append(1)\n"
+                    "def stray(state):\n"
+                    "    state.b.append(2)\n"
+                )
+            },
+        )
+        restricted = pctx.restricted_effects(
+            {"blessed"}, roots=["repro.sim.m.outer"]
+        )
+        chains = {
+            e.chain
+            for e in restricted["repro.sim.m.outer"]
+            if e.kind == MUTATE
+        }
+        assert chains == {("b",)}  # blessed's effect cut, stray's kept
+
+
+class TestUnresolvedFallback:
+    def test_call_through_parameter_is_dynamic_not_impure(self, tmp_path):
+        """The executor's own ``derive(entry)`` pattern: a frozen-input
+        callable must not be treated as an unknown impure call."""
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "def run(derive, live, names, buf):\n"
+                    "    for name in names:\n"
+                    "        buf.decisions.append((name, derive(live[name])))\n"
+                )
+            },
+        )
+        summary = pctx.summary("repro.sim.m.run")
+        assert ("derive", 3, UNRESOLVED_DYNAMIC) in summary.unresolved
+        assert effects_of(pctx, "repro.sim.m.run", MUTATE) == set()
+
+    def test_unknown_name_and_receiver_categories(self, tmp_path):
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "def go(handle):\n"
+                    "    mystery()\n"
+                    "    handle.sock.send(b'x')\n"
+                )
+            },
+        )
+        summary = pctx.summary("repro.sim.m.go")
+        categories = {(name, cat) for name, _, cat in summary.unresolved}
+        assert ("mystery", UNRESOLVED_UNKNOWN_NAME) in categories
+        # handle is a parameter with no annotation: dynamic dispatch.
+        assert ("send", UNRESOLVED_DYNAMIC) in categories
+
+    def test_mutator_named_call_counts_even_when_unresolved(self, tmp_path):
+        """The conservative half: ``.update()`` on an unknown receiver is
+        still classified as a mutation of that receiver."""
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "def go(handle):\n"
+                    "    handle.cache.update({'a': 1})\n"
+                )
+            },
+        )
+        effs = effects_of(pctx, "repro.sim.m.go", MUTATE)
+        assert {(e.root, e.name, e.chain) for e in effs} == {
+            (ROOT_PARAM, "handle", ("cache",))
+        }
+
+    def test_non_mutator_unresolved_calls_contribute_no_effects(self, tmp_path):
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "def go(handle):\n"
+                    "    handle.refresh()\n"
+                )
+            },
+        )
+        assert effects_of(pctx, "repro.sim.m.go", MUTATE) == set()
+        assert effects_of(pctx, "repro.sim.m.go", WRITE) == set()
+
+
+class TestPropagateDeterminism:
+    def test_fixpoint_is_order_independent(self, tmp_path):
+        pctx = build(
+            tmp_path,
+            {
+                "m.py": (
+                    "class Pair:\n"
+                    "    def ping(self, log):\n"
+                    "        log.entries.append('ping')\n"
+                    "        self.pong(log)\n"
+                    "    def pong(self, log):\n"
+                    "        log.entries.append('pong')\n"
+                    "        self.ping(log)\n"
+                )
+            },
+        )
+        again = propagate(pctx.table.summaries, pctx.graph.edges)
+        assert again == {
+            q: pctx.transitive_effects(q) for q in pctx.summaries()
+        }

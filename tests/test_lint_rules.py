@@ -2,8 +2,10 @@
 suppression/baseline machinery, the CLI surface, and the fixture-injection
 guard the CI lint job relies on."""
 
+import glob
 import json
 import os
+import re
 import shutil
 
 import pytest
@@ -17,7 +19,29 @@ HERE = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(HERE)
 FIXTURES = os.path.join(HERE, "lint_fixtures")
 
-RULE_CODES = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006")
+RULE_CODES = (
+    "RPR001",
+    "RPR002",
+    "RPR003",
+    "RPR004",
+    "RPR005",
+    "RPR006",
+    "RPR007",
+    "RPR008",
+    "RPR009",
+)
+
+#: Auto-discovered fixture pairs: every ``rprNNN_bad.py`` in the corpus,
+#: as its rule code.  New rules cannot ship without honest fixtures —
+#: the discovery test below cross-checks this set against the registry.
+DISCOVERED_CODES = tuple(
+    sorted(
+        m.group(1).upper()
+        for p in glob.glob(os.path.join(FIXTURES, "rpr*_bad.py"))
+        for m in [re.match(r"(rpr\d+)_bad\.py$", os.path.basename(p))]
+        if m
+    )
+)
 
 
 def fixture(name):
@@ -29,14 +53,25 @@ def codes_in(path):
 
 
 class TestRuleFixtures:
-    """Each rule has one fixture that triggers it and one that does not."""
+    """Each rule has one fixture that triggers it and one that does not.
 
-    @pytest.mark.parametrize("code", RULE_CODES)
+    The pairs are auto-discovered from ``tests/lint_fixtures/`` so a new
+    rule's fixtures are exercised the moment they land — and a rule
+    *without* fixtures fails the registry cross-check."""
+
+    def test_every_registered_rule_has_a_fixture_pair(self):
+        assert DISCOVERED_CODES == tuple(sorted(all_rules()))
+        for code in DISCOVERED_CODES:
+            assert os.path.exists(fixture(f"{code.lower()}_good.py")), (
+                f"{code} has a _bad fixture but no _good twin"
+            )
+
+    @pytest.mark.parametrize("code", DISCOVERED_CODES)
     def test_positive_fixture_triggers_exactly_its_rule(self, code):
         found = codes_in(fixture(f"{code.lower()}_bad.py"))
         assert found == {code}
 
-    @pytest.mark.parametrize("code", RULE_CODES)
+    @pytest.mark.parametrize("code", DISCOVERED_CODES)
     def test_negative_fixture_is_clean(self, code):
         assert analyze_file(fixture(f"{code.lower()}_good.py")) == []
 
@@ -88,6 +123,103 @@ class TestRuleFixtures:
 
     def test_registry_has_exactly_the_documented_rules(self):
         assert set(all_rules()) == set(RULE_CODES)
+
+
+class TestProjectRules:
+    """The whole-program rules (RPR007-RPR009): cross-module resolution,
+    the exact hole RPR006 cannot see, and in-tree cleanliness."""
+
+    SHARD_PHASE_DEF = (
+        "def shard_phase(fn):\n"
+        "    fn.__shard_phase__ = True\n"
+        "    return fn\n"
+    )
+
+    def test_rpr007_sees_transitive_impurity_across_modules(self, tmp_path):
+        """A pure-looking @shard_phase wrapper calling an impure helper
+        in ANOTHER module: invisible to RPR006, caught by RPR007."""
+        tree = tmp_path / "src" / "repro" / "sim"
+        tree.mkdir(parents=True)
+        (tree / "helpers.py").write_text(
+            "def bump_totals(stats, name):\n"
+            "    stats.seen.append(name)\n"
+        )
+        (tree / "worker.py").write_text(
+            "from .helpers import bump_totals\n"
+            + self.SHARD_PHASE_DEF
+            + "@shard_phase\n"
+            "def classify_slice(live, names, stats, buf):\n"
+            "    for name in names:\n"
+            "        bump_totals(stats, name)\n"
+            "        buf.decisions.append(live[name])\n"
+            "    return buf\n"
+        )
+        findings, _ = analyze_paths([str(tmp_path / "src")])
+        assert {f.code for f in findings} == {"RPR007"}
+        (finding,) = findings
+        assert finding.path.endswith("worker.py")  # anchored at the root
+        assert "bump_totals" in finding.message
+
+    def test_rpr006_alone_misses_the_transitive_hole(self, tmp_path):
+        """The motivating gap: the same wrapper is clean under the
+        one-body-deep file rules."""
+        path = tmp_path / "worker.py"
+        path.write_text(
+            "# repro-lint-module: repro.sim.worker\n"
+            + self.SHARD_PHASE_DEF
+            + "def bump_totals(stats, name):\n"
+            "    stats.seen.append(name)\n"
+            "@shard_phase\n"
+            "def classify_slice(names, stats, buf):\n"
+            "    for name in names:\n"
+            "        bump_totals(stats, name)\n"
+        )
+        findings, _ = analyze_paths([str(path)], select=["RPR006"])
+        assert findings == []
+        findings, _ = analyze_paths([str(path)], select=["RPR007"])
+        assert {f.code for f in findings} == {"RPR007"}
+
+    def test_rpr007_suppressible_at_the_root_def_line(self, tmp_path):
+        path = tmp_path / "worker.py"
+        path.write_text(
+            "# repro-lint-module: repro.sim.worker\n"
+            + self.SHARD_PHASE_DEF
+            + "def bump_totals(stats, name):\n"
+            "    stats.seen.append(name)\n"
+            "@shard_phase\n"
+            "def classify_slice(names, stats, buf):  # repro: noqa[RPR007] stats is a worker-local scratchpad\n"
+            "    for name in names:\n"
+            "        bump_totals(stats, name)\n"
+        )
+        findings, _ = analyze_paths([str(path)])
+        assert findings == []
+
+    def test_rpr008_flags_both_racing_sites(self):
+        findings = analyze_file(fixture("rpr008_bad.py"))
+        assert [f.code for f in findings] == ["RPR008", "RPR008"]
+        lines = {f.line for f in findings}
+        assert len(lines) == 2  # one finding per racing write site
+        assert all("tally" in f.message for f in findings)
+
+    def test_rpr008_part_routed_writes_do_not_race(self):
+        assert analyze_file(fixture("rpr008_good.py")) == []
+
+    def test_rpr009_points_at_the_stray_mutation_site(self):
+        (finding,) = analyze_file(fixture("rpr009_bad.py"))
+        assert finding.code == "RPR009"
+        assert "cache.runnable" in finding.message
+        with open(fixture("rpr009_bad.py")) as fh:
+            line_text = fh.read().splitlines()[finding.line - 1]
+        assert "runnable.add" in line_text
+
+    def test_in_tree_executor_and_scheduler_are_clean(self):
+        """The acceptance bar: the real worker/coordinator split passes
+        the whole-program rules with zero findings (not baselined)."""
+        sim = os.path.join(REPO_ROOT, "src", "repro", "sim")
+        findings, _ = analyze_paths(
+            [sim], select=["RPR007", "RPR008", "RPR009"]
+        )
+        assert findings == []
 
 
 class TestSuppressions:
@@ -165,6 +297,53 @@ class TestBaseline:
         ]
         assert offenders == []
 
+    def test_selective_write_baseline_keeps_unselected_entries(self, tmp_path):
+        """The --write-baseline --select round trip: snapshotting one
+        rule must not discard the other rules' grandfathered entries."""
+        src = tmp_path / "tree"
+        src.mkdir()
+        shutil.copy(fixture("rpr005_bad.py"), src / "rpr005_bad.py")
+        shutil.copy(fixture("rpr003_bad.py"), src / "rpr003_bad.py")
+        baseline = tmp_path / "baseline.json"
+
+        # Full snapshot grandfathers both rules.
+        assert lint_main(
+            [str(src), "--baseline", str(baseline), "--write-baseline"]
+        ) == 0
+        full = load_baseline(str(baseline))
+        assert {fp.split(":", 1)[0] for fp in full} == {"RPR003", "RPR005"}
+
+        # A selective rewrite of RPR005 must carry the RPR003 entry over.
+        assert lint_main(
+            [
+                str(src),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+                "--select",
+                "RPR005",
+            ]
+        ) == 0
+        assert load_baseline(str(baseline)) == full
+        assert lint_main([str(src), "--baseline", str(baseline)]) == 0
+
+        # ... and dropping the RPR005 violation then re-snapshotting
+        # RPR005 selectively burns down only RPR005's entries.
+        (src / "rpr005_bad.py").unlink()
+        assert lint_main(
+            [
+                str(src),
+                "--baseline",
+                str(baseline),
+                "--write-baseline",
+                "--select",
+                "RPR005",
+            ]
+        ) == 0
+        remaining = load_baseline(str(baseline))
+        assert {fp.split(":", 1)[0] for fp in remaining} == {"RPR003"}
+        assert lint_main([str(src), "--baseline", str(baseline)]) == 0
+
 
 class TestCli:
     def test_clean_tree_exits_zero(self, monkeypatch, capsys):
@@ -198,6 +377,42 @@ class TestCli:
         for code in RULE_CODES:
             assert code in out
 
+    def test_github_format_emits_error_annotations(self, capsys):
+        rc = lint_main(
+            [fixture("rpr003_bad.py"), "--format", "github", "--no-baseline"]
+        )
+        assert rc == 1
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        annotations = [l for l in lines if l.startswith("::error ")]
+        assert len(annotations) == 1
+        (ann,) = annotations
+        assert "file=" in ann and ",line=4," in ann
+        assert "title=RPR003" in ann
+        assert "::" in ann.split("title=RPR003", 1)[1]
+        assert lines[-1] == "1 finding(s)"
+
+    def test_github_format_escapes_message_newlines_and_percent(self):
+        from repro.analysis.cli import render_github
+        from repro.analysis.core import Finding
+
+        f = Finding(
+            code="RPR001",
+            path="src/x.py",
+            line=3,
+            col=1,
+            message="bad 100%\nsecond line",
+        )
+        rendered = render_github(f)
+        assert "\n" not in rendered
+        assert "%25" in rendered and "%0A" in rendered
+
+    def test_github_format_clean_tree_exits_zero(self, monkeypatch, capsys):
+        monkeypatch.chdir(REPO_ROOT)
+        assert lint_main(["src", "--format", "github"]) == 0
+        out = capsys.readouterr().out
+        assert not any(l.startswith("::error") for l in out.splitlines())
+
 
 class TestInjectionGuard:
     """The CI lint job's smoke test in miniature: dropping a known-bad
@@ -216,3 +431,33 @@ class TestInjectionGuard:
         assert lint_main([str(tmp_path / "src"), "--no-baseline"]) == 1
         findings, _ = analyze_paths([str(tmp_path / "src")])
         assert {f.code for f in findings} == {"RPR001"}
+
+    def test_injected_transitive_impurity_fails_a_clean_tree(self, tmp_path):
+        """The CI smoke's second planting: a pure-looking @shard_phase
+        wrapper in one module calling an impure helper in another."""
+        tree = tmp_path / "src" / "repro" / "sim"
+        tree.mkdir(parents=True)
+        (tree / "clean.py").write_text(
+            '"""A clean module."""\n\nVALUE = sorted({1, 2, 3})\n'
+        )
+        assert lint_main([str(tmp_path / "src"), "--no-baseline"]) == 0
+
+        (tree / "impure_helper.py").write_text(
+            "def bump_totals(stats, name):\n"
+            "    stats.seen.append(name)\n"
+        )
+        (tree / "pure_wrapper.py").write_text(
+            "from .impure_helper import bump_totals\n"
+            "def shard_phase(fn):\n"
+            "    fn.__shard_phase__ = True\n"
+            "    return fn\n"
+            "@shard_phase\n"
+            "def classify_slice(live, names, stats, buf):\n"
+            "    for name in names:\n"
+            "        bump_totals(stats, name)\n"
+            "        buf.decisions.append(live[name])\n"
+            "    return buf\n"
+        )
+        assert lint_main([str(tmp_path / "src"), "--no-baseline"]) == 1
+        findings, _ = analyze_paths([str(tmp_path / "src")])
+        assert {f.code for f in findings} == {"RPR007"}
