@@ -5,7 +5,18 @@ The repo's layers, bottom to top::
     exceptions < core < graphs < {policies, enumeration} < sim
                < {verify, viz} < bench
 
-with two special cases:
+with the kernel/service split (PR 9) threaded through the middle:
+``repro.kernel`` sits *between* the sim state layers and the drivers —
+it may import the state layers it absorbed (lock table, waits-for,
+deadlock, admission, live, metrics, event log, executor) but never the
+drivers above it (``sim.scheduler``, ``sim.runner``, ``sim.grid``) nor
+the reference oracle; ``repro.service`` is a front-end that imports
+**only** the kernel (plus ``repro.policies`` for the admission seam) —
+the sim state layers reach it exclusively through the kernel's
+re-exports.  ``repro.sim`` may import the kernel (the scheduler's
+``_Run`` is a kernel driver) but never the service.
+
+Special cases:
 
 * ``sim/reference.py`` is the executable specification — it must stay
   independent of the event-engine internals (``scheduler``, ``admission``,
@@ -31,40 +42,56 @@ CODE = "RPR003"
 
 _ANALYSIS_FORBIDDEN = (
     "repro.exceptions", "repro.core", "repro.graphs", "repro.policies",
-    "repro.enumeration", "repro.sim", "repro.verify", "repro.viz",
-    "repro.bench",
+    "repro.enumeration", "repro.sim", "repro.kernel", "repro.service",
+    "repro.verify", "repro.viz", "repro.bench",
 )
 
 #: (module prefix, forbidden import prefixes).  Every matching row applies.
 LAYER_RULES: Tuple[Tuple[str, Tuple[str, ...]], ...] = (
     ("repro.exceptions", (
         "repro.core", "repro.graphs", "repro.policies", "repro.enumeration",
-        "repro.sim", "repro.verify", "repro.viz", "repro.bench",
-        "repro.analysis", "repro.lint",
+        "repro.sim", "repro.kernel", "repro.service", "repro.verify",
+        "repro.viz", "repro.bench", "repro.analysis", "repro.lint",
     )),
     ("repro.core", (
         "repro.graphs", "repro.policies", "repro.enumeration", "repro.sim",
-        "repro.verify", "repro.viz", "repro.bench", "repro.analysis",
-        "repro.lint",
-    )),
-    ("repro.graphs", (
-        "repro.policies", "repro.enumeration", "repro.sim", "repro.verify",
-        "repro.viz", "repro.bench", "repro.analysis", "repro.lint",
-    )),
-    ("repro.policies", (
-        "repro.sim", "repro.enumeration", "repro.verify", "repro.viz",
+        "repro.kernel", "repro.service", "repro.verify", "repro.viz",
         "repro.bench", "repro.analysis", "repro.lint",
     )),
-    ("repro.enumeration", (
-        "repro.sim", "repro.verify", "repro.viz", "repro.bench",
+    ("repro.graphs", (
+        "repro.policies", "repro.enumeration", "repro.sim", "repro.kernel",
+        "repro.service", "repro.verify", "repro.viz", "repro.bench",
         "repro.analysis", "repro.lint",
     )),
-    ("repro.sim", (
+    ("repro.policies", (
+        "repro.sim", "repro.kernel", "repro.service", "repro.enumeration",
         "repro.verify", "repro.viz", "repro.bench", "repro.analysis",
         "repro.lint",
+    )),
+    ("repro.enumeration", (
+        "repro.sim", "repro.kernel", "repro.service", "repro.verify",
+        "repro.viz", "repro.bench", "repro.analysis", "repro.lint",
+    )),
+    ("repro.sim", (
+        "repro.service", "repro.verify", "repro.viz", "repro.bench",
+        "repro.analysis", "repro.lint",
     )),
     ("repro.sim.reference", (
         "repro.sim.scheduler", "repro.sim.admission", "repro.sim.waits_for",
+    )),
+    # The kernel absorbs sim's *state* layers; the drivers and the
+    # reference oracle stay strictly above it.
+    ("repro.kernel", (
+        "repro.sim.scheduler", "repro.sim.runner", "repro.sim.grid",
+        "repro.sim.workloads", "repro.sim.reference", "repro.sim.artifacts",
+        "repro.service", "repro.enumeration", "repro.verify", "repro.viz",
+        "repro.bench", "repro.analysis", "repro.lint",
+    )),
+    # The service sees the kernel's API surface and nothing below it.
+    ("repro.service", (
+        "repro.sim", "repro.core", "repro.graphs", "repro.enumeration",
+        "repro.verify", "repro.viz", "repro.bench", "repro.analysis",
+        "repro.lint",
     )),
     ("repro.verify", ("repro.bench", "repro.viz", "repro.analysis", "repro.lint")),
     ("repro.viz", ("repro.verify", "repro.bench", "repro.analysis", "repro.lint")),

@@ -28,12 +28,16 @@ upscaled mega-stress workload, asserts every configuration is
 byte-identical to the serial shards=1 reference, and writes
 ``BENCH_parallel_shards.json`` with per-phase work counters (per-shard
 classify counts, barrier waits, cross-shard spills) alongside
-``wall_s``.
+``wall_s``; ``service`` stress-tests the asyncio lock service with
+concurrent in-process clients mixing authorized and unauthorized
+operations and writes ``BENCH_service_stress.json`` with per-op
+throughput and p50/p99 request latencies.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import dataclasses
 import sys
 import time
@@ -275,10 +279,123 @@ def _run_parallel_shards(args: argparse.Namespace) -> int:
     return 0
 
 
+_SERVICE_COLUMNS = [
+    "case", "requests", "throughput", "p50_ms", "p99_ms", "mean_ms",
+]
+
+
+def _percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted sample."""
+    return values[min(len(values) - 1, int(round(q * (len(values) - 1))))]
+
+
+def _run_service_stress(args: argparse.Namespace) -> int:
+    """The lock-service bench: concurrent in-process clients driving the
+    audited asyncio front-end (:mod:`repro.service`) through contended
+    begin/acquire/locks/release/commit rounds, with a sprinkle of
+    unauthorized cross-actor requests that must be denied without state
+    change.  Request latency is measured client-side around the full
+    round trip (for a blocked acquire, up to and including the wake
+    event), so the p50/p99 rows price the whole service stack — protocol,
+    authorization, kernel, audit — not just the lock table."""
+    from .service import LockService
+
+    scale = args.scale
+    clients = max(4, int(16 * scale))
+    rounds = max(5, int(40 * scale))
+    hot = [f"hot{i}" for i in range(6)]
+    latencies: Dict[str, List[float]] = {}
+    counts = {"denied": 0, "blocked": 0, "woken": 0}
+
+    async def timed(client, op: str, **fields):
+        t0 = time.perf_counter()
+        reply = await client.request(op, **fields)
+        if reply.get("outcome") == "blocked":
+            counts["blocked"] += 1
+            wake = await client.wait_wake(reply["id"])
+            counts["woken"] += 1
+            reply = {**reply, "outcome": wake["outcome"]}
+        latencies.setdefault(op, []).append(time.perf_counter() - t0)
+        if reply.get("outcome") == "denied":
+            counts["denied"] += 1
+        return reply
+
+    async def run_client(svc, i: int) -> None:
+        client = await svc.connect(f"actor{i}")
+        for r in range(rounds):
+            txn = f"c{i}-r{r}"
+            await timed(client, "begin", txn=txn)
+            await timed(client, "acquire", txn=txn, entity=f"p{i}", mode="X")
+            entity = hot[(i + r) % len(hot)]
+            mode = "X" if (i + r) % 5 == 0 else "S"
+            got = await timed(client, "acquire", txn=txn, entity=entity,
+                              mode=mode)
+            await timed(client, "locks", txn=txn)
+            if r % 7 == 3:
+                # Unauthorized: another actor's transaction.  Denied (or,
+                # if that client hasn't begun yet, a kernel ERROR) — never
+                # a state change.
+                other = f"c{(i + 1) % clients}-r0"
+                await timed(client, "release", txn=other, entity="p0")
+            if got.get("outcome") == "granted":
+                await timed(client, "release", txn=txn, entity=entity)
+            await timed(client, "commit", txn=txn)
+        await client.close()
+
+    async def drive():
+        svc = LockService(lock_shards=4, max_inflight=8)
+        t0 = time.perf_counter()
+        await asyncio.gather(*(run_client(svc, i) for i in range(clients)))
+        wall = time.perf_counter() - t0
+        drained = await svc.drain()
+        return svc, wall, drained
+
+    svc, wall, drained = asyncio.run(drive())
+
+    def render_row(case: str, values: List[float]) -> Dict[str, object]:
+        ordered = sorted(values)
+        return {
+            "case": case,
+            "requests": len(ordered),
+            "throughput": round(len(ordered) / wall, 1),
+            "p50_ms": round(1000 * _percentile(ordered, 0.50), 3),
+            "p99_ms": round(1000 * _percentile(ordered, 0.99), 3),
+            "mean_ms": round(1000 * sum(ordered) / len(ordered), 3),
+        }
+
+    every = [x for values in latencies.values() for x in values]
+    rows = [render_row("all", every)] + [
+        render_row(op, values) for op, values in sorted(latencies.items())
+    ]
+    print(format_table(rows, _SERVICE_COLUMNS))
+    print(f"\n{clients} clients × {rounds} rounds in {wall:.2f}s "
+          f"(denied={counts['denied']}, blocked={counts['blocked']}, "
+          f"audit entries={len(svc.audit)})")
+    out = args.out or "BENCH_service_stress.json"
+    write_bench_artifact(
+        out, "service_stress", rows,
+        scale=scale, workers=0, wall_s=wall,
+        extra={
+            "clients": clients,
+            "rounds": rounds,
+            "max_inflight": 8,
+            "lock_shards": 4,
+            "denied": counts["denied"],
+            "blocked": counts["blocked"],
+            "woken": counts["woken"],
+            "audit_entries": len(svc.audit),
+            "drained": len(drained),
+        },
+    )
+    print(f"artifact: {out}")
+    return 0
+
+
 #: Benches with their own sweep logic (not GridSpec presets); they share
 #: the CLI surface (``--scale``, ``--shard-workers``, ``--out``).
 SPECIAL_BENCHES: Dict[str, Callable[[argparse.Namespace], int]] = {
     "parallel_shards": _run_parallel_shards,
+    "service": _run_service_stress,
 }
 
 

@@ -1,0 +1,60 @@
+"""The transport-agnostic lock-manager kernel.
+
+This package is the home of the lock-management state machine the tick
+simulator (``repro.sim``) and the asyncio service (``repro.service``)
+both drive:
+
+* :mod:`~repro.kernel.lifecycle` — :class:`KernelRun`, the composed
+  state layers plus transaction lifecycle transitions (the kernel half
+  of the old ``sim/scheduler._Run`` monolith; the simulator's ``_Run``
+  is now a driver subclass);
+* :mod:`~repro.kernel.core` — :class:`LockKernel`, the tick-free
+  request API (``begin/acquire/release/commit/abort`` → explicit
+  :class:`Outcome`, wake-up callbacks, inline admission, deadlock
+  resolution by the simulator's deterministic victim rule);
+* :mod:`~repro.kernel.outcomes` — the :class:`Outcome` enum and
+  :class:`KernelResponse`;
+* :mod:`~repro.kernel.audit` — the append-only :class:`AuditLog`.
+
+The state layers themselves (lock table, waits-for graph, deadlock
+oracle, admission cache, metrics) still live under ``repro.sim`` and are
+re-exported here so front-ends above the kernel (``repro.service``)
+import **only** this package — lint rule RPR003 enforces both directions
+(kernel never imports the sim drivers; service imports nothing from sim).
+"""
+
+from ..core.operations import LockMode
+from ..core.steps import Entity
+from ..sim.admission import AdmissionCache, Classifier
+from ..sim.deadlock import find_cycle, pick_victim, victim_cost
+from ..sim.live import LiveEntry
+from ..sim.lock_table import LockTable
+from ..sim.metrics import Metrics, TxnRecord
+from ..sim.waits_for import WaitsForGraph
+from .audit import AuditEntry, AuditLog
+from .core import AdmissionHook, LockKernel, WakeCallback
+from .lifecycle import KernelRun
+from .outcomes import KernelResponse, Outcome
+
+__all__ = [
+    "AdmissionCache",
+    "AdmissionHook",
+    "AuditEntry",
+    "AuditLog",
+    "Classifier",
+    "Entity",
+    "KernelResponse",
+    "KernelRun",
+    "LiveEntry",
+    "LockKernel",
+    "LockMode",
+    "LockTable",
+    "Metrics",
+    "Outcome",
+    "TxnRecord",
+    "WaitsForGraph",
+    "WakeCallback",
+    "find_cycle",
+    "pick_victim",
+    "victim_cost",
+]

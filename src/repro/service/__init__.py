@@ -1,0 +1,44 @@
+"""The lock-manager service: an audited asyncio front-end over the
+transport-agnostic kernel (:mod:`repro.kernel`).
+
+Layering (lint rule RPR003 enforces it): this package imports **only**
+``repro.kernel`` (and, if a deployment wires policy sessions into the
+admission seam, ``repro.policies``) — never ``repro.sim``.  Everything
+the service needs from the simulator's state layers reaches it through
+the kernel's re-exports.
+
+* :mod:`~repro.service.protocol` — the JSON-line wire protocol;
+* :mod:`~repro.service.auth` — owner-only inline authorization;
+* :mod:`~repro.service.transport` — the in-process duplex pipe;
+* :mod:`~repro.service.server` — :class:`LockService` (connection
+  handling, backpressure, drain) and :class:`ServiceClient`.
+"""
+
+from .auth import Authorizer
+from .protocol import (
+    MUTATING_OPS,
+    OPS,
+    PROTOCOL_VERSION,
+    QUERY_OPS,
+    ProtocolError,
+    decode,
+    encode,
+    parse_mode,
+)
+from .server import LockService, ServiceClient
+from .transport import memory_pair
+
+__all__ = [
+    "Authorizer",
+    "LockService",
+    "MUTATING_OPS",
+    "OPS",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "QUERY_OPS",
+    "ServiceClient",
+    "decode",
+    "encode",
+    "memory_pair",
+    "parse_mode",
+]

@@ -1,0 +1,77 @@
+"""In-process transport for the lock service.
+
+The service's connection handler is written against the tiny duck-typed
+surface it actually uses of asyncio's ``StreamReader``/``StreamWriter``
+pair — ``readline``, ``write``, ``drain``, ``close``, ``is_closing`` —
+so the same handler serves real TCP sockets (``asyncio.start_server``)
+and this zero-socket in-process pipe.  Tests and the bench run entirely
+in-process: deterministic, no ports, no firewall surprises in CI.
+
+The pipe carries *whole protocol lines* (the service and client both
+write one ``encode()``-d line per call), so ``readline`` can pop one
+queue item instead of reassembling a byte stream; an empty ``b""`` item
+is the EOF sentinel ``close()`` injects.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Tuple
+
+
+class MemoryReader:
+    """Reader half: pops whole lines from the peer's queue."""
+
+    def __init__(self, queue: "asyncio.Queue[bytes]") -> None:
+        self._queue = queue
+        self._eof = False
+
+    async def readline(self) -> bytes:
+        if self._eof:
+            return b""
+        line = await self._queue.get()
+        if not line:
+            self._eof = True
+        return line
+
+
+class MemoryWriter:
+    """Writer half: pushes whole lines into the peer's queue."""
+
+    def __init__(self, queue: "asyncio.Queue[bytes]") -> None:
+        self._queue = queue
+        self._closed = False
+
+    def write(self, data: bytes) -> None:
+        if not self._closed:
+            self._queue.put_nowait(bytes(data))
+
+    async def drain(self) -> None:
+        """Yield once so the peer's reader can run (the unbounded queue
+        itself never applies backpressure — the service's per-client
+        in-flight cap does)."""
+        await asyncio.sleep(0)
+
+    def is_closing(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            self._queue.put_nowait(b"")
+
+    async def wait_closed(self) -> None:
+        return None
+
+
+#: One endpoint: (reader, writer).
+Endpoint = Tuple[MemoryReader, MemoryWriter]
+
+
+def memory_pair() -> Tuple[Endpoint, Endpoint]:
+    """A connected duplex pipe: ``(client_endpoint, server_endpoint)``."""
+    client_to_server: "asyncio.Queue[bytes]" = asyncio.Queue()
+    server_to_client: "asyncio.Queue[bytes]" = asyncio.Queue()
+    client = (MemoryReader(server_to_client), MemoryWriter(client_to_server))
+    server = (MemoryReader(client_to_server), MemoryWriter(server_to_client))
+    return client, server

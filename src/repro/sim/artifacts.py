@@ -95,9 +95,13 @@ def write_bench_artifact(
     rows: Sequence[Dict[str, object]],
     **kwargs,
 ) -> Dict[str, object]:
-    """Write the unified artifact to ``path``; returns the payload."""
+    """Write the unified artifact to ``path``, creating missing parent
+    directories (``--out path/to/new_dir/file.json`` must not crash a
+    bench run at the very end); returns the payload."""
     payload = bench_artifact(bench, rows, **kwargs)
-    Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n")
     return payload
 
 

@@ -16,14 +16,20 @@ Two engines implement these semantics: ``engine="naive"`` re-classifies
 every live session from scratch each tick (:mod:`repro.sim.reference`, the
 executable specification) and ``engine="event"`` (default) caches
 classifications and invalidates them only by the events that can change
-them.  This module is the **event-loop layer** of a layered kernel; the
-sibling layers — :mod:`repro.sim.admission` (classification cache,
-invalidation channels, classifier), :mod:`repro.sim.waits_for`
+them.  This module is the **driver layer** over the lock-manager kernel:
+the transaction-lifecycle state machine (grant/block/wake/deadlock/
+commit/abort) lives in :class:`repro.kernel.lifecycle.KernelRun`, which
+composes the state layers — :mod:`repro.sim.admission` (classification
+cache, invalidation channels, classifier), :mod:`repro.sim.waits_for`
 (always-fresh graph, incremental cycle detection),
 :mod:`repro.sim.deadlock` (oracle detector, victim costing),
 :mod:`repro.sim.lock_table` (sharded holder maps and wait queues), and
-:mod:`repro.sim.event_log` (O(own events) abort erasure) — are documented
+:mod:`repro.sim.event_log` (O(own events) abort erasure) — all documented
 in docs/ARCHITECTURE.md along with the invalidation-channel protocol.
+:class:`_Run` adds what makes the kernel a *tick simulator*: the seeded
+RNG, batched arrival admission, and the per-tick phase pipeline.  The
+same kernel layers serve the request-driven asyncio service through
+:class:`repro.kernel.core.LockKernel` (see :mod:`repro.service`).
 
 Aborted transactions release their locks, their recorded events are
 erased, and the transaction restarts with an intent script recomputed by
@@ -37,23 +43,19 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
-from ..core.schedules import Event, Schedule
 from ..core.states import StructuralState
 from ..exceptions import PolicyViolation, SimulationError
-from ..policies.base import Intent, LockingPolicy, PolicyContext, PolicySession
-from .admission import AdmissionCache, Classifier
+from ..kernel.lifecycle import KernelRun
+from ..policies.base import Intent, LockingPolicy, PolicyContext
 from .live import LiveEntry
 from .deadlock import (  # _find_cycle re-exported for tests/oracle use
     find_cycle as _find_cycle,
     pick_victim,
     resolve_deadlock,
 )
-from .event_log import EventLog, assemble as _assemble, truncated as _truncated
-from .executor import make_executor
-from .lock_table import LockTable
+from .event_log import assemble as _assemble, truncated as _truncated
 from .metrics import Metrics, TxnRecord
 from .reference import naive_tick
-from .waits_for import WaitsForGraph
 
 #: Recompute the intent script after an abort: (name, attempt, context) -> intents.
 RestartStrategy = Callable[[str, int, PolicyContext], Optional[Sequence[Intent]]]
@@ -84,7 +86,7 @@ class WorkloadItem:
 class SimResult:
     """Everything a run produced."""
 
-    schedule: Schedule
+    schedule: object
     metrics: Metrics
     committed: Tuple[str, ...]
     aborted: Tuple[str, ...]
@@ -171,31 +173,24 @@ class Simulator:
         )
 
 
-class _Run:
-    """State and helpers of one simulation run (both engines): composes
-    the kernel layers and owns transaction lifecycle (admission, commit,
-    abort/restart) plus the per-tick loop."""
+class _Run(KernelRun):
+    """One simulation run (both engines): the tick *driver* over the
+    lifecycle kernel.  :class:`~repro.kernel.lifecycle.KernelRun`
+    composes the state layers and owns admission, commit, abort/restart,
+    and step execution; this subclass adds the seeded RNG, the batched
+    arrival queue, and the per-tick phase pipeline that feeds workload
+    scripts into those transitions."""
 
     def __init__(self, sim: Simulator, workload: Sequence[WorkloadItem]):
+        super().__init__(
+            sim.policy.create_context(**sim.context_kwargs),
+            max_restarts=sim.max_restarts,
+            lock_shards=sim.lock_shards,
+            shard_workers=sim.shard_workers,
+            event_engine=sim.engine == "event",
+        )
         self.rng = sim.rng
         self.max_ticks = sim.max_ticks
-        self.max_restarts = sim.max_restarts
-        self.event_engine = sim.engine == "event"
-        self.context = sim.policy.create_context(**sim.context_kwargs)
-        self.metrics = Metrics()
-        self.table = LockTable(shards=sim.lock_shards)
-        self.graph = WaitsForGraph()
-        self.live: Dict[str, LiveEntry] = {}
-        self.cache = AdmissionCache(self.live, self.metrics)
-        self.classifier = Classifier(
-            self.live, self.metrics, self.table, self.graph, self.cache
-        )
-        #: The classify-phase executor (serial reference or thread-pool
-        #: fan-out over shard slices; see :mod:`repro.sim.executor`).
-        self.executor = make_executor(sim.shard_workers)
-        self.log = EventLog()
-        self.committed: List[str] = []
-        self.dropped: List[str] = []
         #: Not-yet-admitted items, batched by arrival tick (ascending) and
         #: ordered by name within a batch.  Admission pops whole batches —
         #: O(batch) per arrival tick and a single integer compare on every
@@ -208,17 +203,6 @@ class _Run:
                 self.pending.append((item.start_tick, [item]))
         #: Items still awaiting admission (the batches' total size).
         self.pending_items = len(workload)
-        self._seq = 0
-        if self.event_engine:
-            self.context.set_change_listener(self.cache.policy_changed)
-
-    # -- legacy views (kept for tests and callers of the old layout) ----
-
-    waits_for = property(lambda self: self.graph.waits_for)
-    blocked_by = property(lambda self: self.graph.blocked_by)
-    watchers = property(lambda self: self.cache.watchers)
-    events = property(lambda self: self.log.events)
-    events_by_txn = property(lambda self: self.log.by_txn)
 
     # ------------------------------------------------------------------
     # Main loop (shared tick skeleton)
@@ -260,7 +244,7 @@ class _Run:
             self.executor.shutdown()
 
     # ------------------------------------------------------------------
-    # Lifecycle helpers (shared)
+    # Arrival admission (driver-side: the kernel has no clock)
     # ------------------------------------------------------------------
 
     def admit_arrivals(self) -> None:
@@ -275,171 +259,6 @@ class _Run:
                 entry = LiveEntry(item, session, record, seq=self._seq)
                 self._seq += 1
                 self._register(entry)
-
-    def _register(self, entry: LiveEntry) -> None:
-        name = entry.item.name
-        session = entry.session
-        self.live[name] = entry
-        entry.needs_admission = (
-            session.dynamic
-            or type(session).admission is not PolicySession.admission
-        )
-        if not self.event_engine:
-            return
-        if entry.needs_admission:
-            # Policy-aware invalidation when the session can declare what
-            # its verdict depends on; the conservative every-tick fallback
-            # otherwise.
-            entry.tracks_deps = session.admission_dependencies() is not None
-            self.cache.register(
-                name,
-                tracks_deps=entry.tracks_deps,
-                dynamic=not entry.tracks_deps,
-                complete=False,
-            )
-        else:
-            self.cache.register(
-                name,
-                tracks_deps=False,
-                dynamic=False,
-                complete=session.peek() is None,
-            )
-
-    def record_event(self, name: str, event: Event) -> None:
-        self.log.record(name, event)
-
-    def erase(self, name: str) -> None:
-        self.log.erase(name)
-
-    def commit(self, entry: LiveEntry) -> None:
-        name = entry.item.name
-        m = self.metrics
-        self.log.forget(name)  # committed events are permanent
-        entry.session.on_commit()
-        entry.record.committed = True
-        entry.record.end_tick = m.ticks
-        m.committed += 1
-        self.committed.append(name)
-        del self.live[name]
-        self._forget(entry)
-        # A policy that commits while still holding locks used to leak them
-        # forever (later sessions then livelocked with a SimulationError);
-        # commit now implies strictness for whatever is still held.
-        released, woken = self.table.release_all_wake(name)
-        if released:
-            self._wake(woken)
-
-    def abort(self, victim: LiveEntry, reason: str) -> None:
-        m = self.metrics
-        name = victim.item.name
-        m.aborted += 1
-        victim.session.on_abort()
-        self._forget(victim)
-        _, woken = self.table.release_all_wake(name)
-        self._wake(woken)
-        self.log.erase(name)
-
-        def drop() -> None:
-            del self.live[name]
-            self.dropped.append(name)
-            victim.record.end_tick = m.ticks
-
-        if victim.attempt > self.max_restarts:
-            drop()
-            return
-        intents: Optional[Sequence[Intent]] = victim.item.intents
-        if victim.item.restart is not None:
-            intents = victim.item.restart(name, victim.attempt, self.context)
-        if intents is None:
-            drop()
-            return
-        try:
-            session = self.context.begin(name, intents)
-        except PolicyViolation:
-            drop()
-            return
-        # Count the restart only now that one actually happened — a drop
-        # (restart budget exhausted, strategy gave up, or begin refused the
-        # replanned script) is an abort, not a restart.
-        m.restarts += 1
-        victim.record.restarts += 1
-        entry = LiveEntry(
-            victim.item,
-            session,
-            victim.record,
-            attempt=victim.attempt + 1,
-            seq=victim.seq,
-        )
-        self._register(entry)
-
-    def _execute_step(self, entry: LiveEntry) -> None:
-        m = self.metrics
-        step = entry.session.peek()
-        assert step is not None
-        name = entry.item.name
-        mode = step.lock_mode
-        if step.is_lock and mode is not None:
-            self.table.acquire(name, step.entity, mode)
-            if self.event_engine:
-                # Sessions whose cached classification assumed this entity
-                # was free (watchers) must be re-derived; queued waiters
-                # stay blocked — a grant can only extend their blocker
-                # sets, so their edges are updated in place instead.
-                self.cache.mark_dirty(
-                    self.cache.watchers.get(step.entity, ()), exclude=name
-                )
-                self.classifier.extend_lock_edges(name, step.entity)
-        elif step.is_unlock and mode is not None:
-            weakened = self.event_engine and self.table.would_weaken(
-                name, step.entity, mode
-            )
-            woken = self.table.release(name, step.entity, mode)
-            self._wake(woken)
-            if weakened:
-                self.classifier.refresh_lock_edges(name, step.entity)
-        self.log.record(name, Event(name, entry.step_count, step))
-        entry.step_count += 1
-        entry.session.executed()
-        m.events_executed += 1
-        entry.record.steps_executed += 1
-        if self.event_engine:
-            self.classifier.clear(entry)
-            if name in self.cache.dynamic:
-                pass  # re-examined every tick anyway
-            elif entry.tracks_deps:
-                # Defer the replanning peek to next tick's phase 1 (it may
-                # raise or drain to None — commit/abort are phase-1
-                # business, exactly when the naive engine sees them).
-                self.cache.phase1.add(name)
-                self.cache.dirty.add(name)
-            elif entry.session.peek() is None:
-                self.cache.complete.add(name)
-            else:
-                self.cache.dirty.add(name)
-
-    def _wake(self, names) -> None:
-        """A release returned these waiters in its wake-up set."""
-        if self.event_engine:
-            self.cache.wake(names)
-
-    def _forget(self, entry: LiveEntry) -> None:
-        """Drop every piece of engine bookkeeping for this incarnation."""
-        name = entry.item.name
-        self.classifier.clear(entry)
-        # Eagerly prune inbound waits-for edges: a departed session blocks
-        # nobody, and a restarted incarnation under the same name must not
-        # inherit edges aimed at its predecessor.  The waiters' lazy
-        # accounting is caught up through the previous tick first (if this
-        # departure is their wake-up, re-classification will cover the
-        # current tick; if it is not, a later accrual point will).
-        waiters = self.graph.forget(name)
-        if waiters:
-            through = self.metrics.ticks - 1
-            for w in waiters:
-                w_entry = self.live.get(w)
-                if w_entry is not None:
-                    self.classifier.accrue(w_entry, through)
-        self.cache.forget(name)
 
     # ------------------------------------------------------------------
     # Event engine tick

@@ -51,6 +51,20 @@ class TestRoundTrip:
         rows.append({"workload": "c"})
         assert len(payload["rows"]) == 2
 
+    def test_missing_parent_directories_are_created(self, tmp_path):
+        """``--out path/to/new_dir/file.json`` must not crash the writer
+        at the end of a bench run: missing parents are created."""
+        path = tmp_path / "new_dir" / "nested" / "BENCH_unit.json"
+        assert not path.parent.exists()
+        payload = write_bench_artifact(path, "unit", ROWS, wall_s=0.1)
+        assert json.loads(path.read_text()) == payload
+
+    def test_existing_parent_directory_is_reused(self, tmp_path):
+        path = tmp_path / "BENCH_unit.json"
+        write_bench_artifact(path, "unit", ROWS, wall_s=0.1)
+        write_bench_artifact(path, "unit", ROWS, wall_s=0.2)  # no EEXIST
+        assert json.loads(path.read_text())["wall_s"] == 0.2
+
 
 class TestRowValidation:
     def test_mismatched_keys_rejected(self):

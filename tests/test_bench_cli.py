@@ -33,9 +33,11 @@ class TestPresets:
         }
 
     def test_special_benches_registered_and_listed(self, capsys):
-        assert set(bench.SPECIAL_BENCHES) == {"parallel_shards"}
+        assert set(bench.SPECIAL_BENCHES) == {"parallel_shards", "service"}
         assert bench.main(["--list"]) == 0
-        assert "parallel_shards" in capsys.readouterr().out
+        out = capsys.readouterr().out
+        assert "parallel_shards" in out
+        assert "service" in out
 
     def test_mega_stress_shape(self):
         spec = bench.PRESETS["mega_stress"](1.0)
