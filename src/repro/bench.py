@@ -23,15 +23,22 @@ non-positive ``--scale`` values, and negative ``--shard-workers`` are
 rejected at parse time.
 
 Besides the grid presets there are *special* benches with their own
-sweep logic; ``parallel_shards`` sweeps shards × shard_workers over an
-upscaled mega-stress workload, asserts every configuration is
-byte-identical to the serial shards=1 reference, and writes
-``BENCH_parallel_shards.json`` with per-phase work counters (per-shard
-classify counts, barrier waits, cross-shard spills) alongside
+sweep logic; ``parallel_shards`` sweeps shards × shard_workers ×
+executor (serial / thread / process) over an upscaled mega-stress
+workload, asserts every configuration is byte-identical to the serial
+shards=1 reference, and writes ``BENCH_parallel_shards.json`` with
+per-phase work counters (per-shard classify counts, barrier waits,
+per-cause spills, replica delta bytes and IPC round trips) alongside
 ``wall_s``; ``service`` stress-tests the asyncio lock service with
 concurrent in-process clients mixing authorized and unauthorized
 operations and writes ``BENCH_service_stress.json`` with per-op
 throughput and p50/p99 request latencies.
+
+``--compare OLD.json NEW.json`` diffs two artifacts of the same bench
+row by row (every numeric column, nested work counters included) and —
+with ``--max-wall-regression FRAC`` — exits non-zero when any wall
+clock grew past the allowance; CI uses it as the regression gate
+instead of ad-hoc inline wall checks.
 """
 
 from __future__ import annotations
@@ -39,6 +46,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import dataclasses
+import json
 import sys
 import time
 from typing import Callable, Dict, List, Optional
@@ -162,11 +170,34 @@ def _preset_mega_stress(scale: float) -> GridSpec:
     )
 
 
+def _preset_mega_stress_50k(scale: float) -> GridSpec:
+    """The ROADMAP's 50k-transaction target: 50,000 staggered short
+    transactions over 64,000 entities through the 8-shard table.  The
+    scale knob shrinks it for CI; at full scale this is the configuration
+    the executor axis (``--executor process --shard-workers N``) is
+    priced against."""
+    n = _scaled(50_000, scale)
+    return GridSpec(
+        policies=(PolicySpec(TwoPhasePolicy),),
+        workloads=(
+            WorkloadSpec("stress", {
+                "num_entities": 64_000, "num_txns": n,
+                "arrival_rate": 0.085, "hot_fraction": 0.0,
+            }),
+        ),
+        seeds=(0,),
+        max_ticks=100_000_000,
+        check_serializability=False,
+        lock_shards=8,
+    )
+
+
 PRESETS: Dict[str, Callable[[float], GridSpec]] = {
     "stress": _preset_stress,
     "deadlock": _preset_deadlock,
     "traversal": _preset_traversal,
     "mega_stress": _preset_mega_stress,
+    "mega_stress_50k": _preset_mega_stress_50k,
 }
 
 _COLUMNS = [
@@ -174,35 +205,49 @@ _COLUMNS = [
     "ticks", "committed", "throughput", "mean_latency", "wait_fraction",
 ]
 
-#: (shards, shard_workers) configurations the parallel_shards bench
-#: sweeps; the first entry is the serial single-partition reference every
-#: other configuration must reproduce byte-identically.
-_PARALLEL_SWEEP = ((1, 0), (4, 0), (4, 2), (8, 0), (8, 2), (8, 4))
+#: (shards, shard_workers, executor) configurations the parallel_shards
+#: bench sweeps; the first entry is the serial single-partition reference
+#: every other configuration must reproduce byte-identically.
+_PARALLEL_SWEEP = (
+    (1, 0, "serial"),
+    (4, 0, "serial"),
+    (4, 2, "thread"),
+    (4, 2, "process"),
+    (8, 0, "serial"),
+    (8, 2, "thread"),
+    (8, 2, "process"),
+    (8, 4, "thread"),
+    (8, 4, "process"),
+)
 
 _PARALLEL_COLUMNS = [
-    "shards", "shard_workers", "wall_s",
+    "shards", "shard_workers", "executor", "wall_s",
     "ticks", "committed", "throughput", "mean_latency", "wait_fraction",
 ]
 
 
 def _run_parallel_shards(args: argparse.Namespace) -> int:
     """The parallel-executor bench: mega_stress scaled up, swept over
-    shards × shard_workers, with every configuration asserted
+    shards × shard_workers × executor, with every configuration asserted
     byte-identical to the serial shards=1 reference and the executors'
     per-phase work counters recorded per row.
 
-    Honest numbers note: the parallel executor fans out *pure Python*
-    derivations to threads, so under the GIL the parallel rows are
-    expected to cost more wall clock than serial at the same shard count
-    — the per-shard classify counts and spill fractions are the figures
-    that matter (they prove the partitioning), and the wall clock is the
-    standing record of what thread fan-out buys (or costs) until a
-    process- or subinterpreter-backed executor lands."""
+    Honest numbers note: the thread executor fans out *pure Python*
+    derivations under the GIL, so its rows are expected to cost more wall
+    clock than serial at the same shard count; the process executor pays
+    the replica-delta protocol instead (``delta_bytes``,
+    ``ipc_round_trips`` in each row's work counters) and ships only
+    batches big enough to amortize a pipe round trip.  The per-cause
+    spill counters and per-shard classify counts are the figures that
+    prove the partitioning; the wall clock is the standing record of what
+    each executor buys (or costs) at this scale."""
     scale = args.scale
     sweep = [
-        (shards, workers)
-        for shards, workers in _PARALLEL_SWEEP
-        if args.shard_workers is None or workers in (0, args.shard_workers)
+        (shards, workers, executor)
+        for shards, workers, executor in _PARALLEL_SWEEP
+        if (args.shard_workers is None
+            or workers in (0, args.shard_workers))
+        and (args.executor is None or executor in ("serial", args.executor))
     ]
     items, initial, context_kwargs = grid_factory("stress")(
         0,
@@ -214,7 +259,7 @@ def _run_parallel_shards(args: argparse.Namespace) -> int:
     rows: List[Dict[str, object]] = []
     reference = None
     start = time.perf_counter()
-    for shards, workers in sweep:
+    for shards, workers, executor in sweep:
         sim = Simulator(
             TwoPhasePolicy(),
             seed=0,
@@ -223,6 +268,7 @@ def _run_parallel_shards(args: argparse.Namespace) -> int:
             engine="event",
             lock_shards=shards,
             shard_workers=workers,
+            executor=executor,
         )
         t0 = time.perf_counter()
         result = sim.run(items, initial)
@@ -240,11 +286,13 @@ def _run_parallel_shards(args: argparse.Namespace) -> int:
         elif outcome != reference:
             raise SystemExit(
                 f"parallel_shards: shards={shards} shard_workers={workers} "
-                f"diverged from the serial shards=1 reference"
+                f"executor={executor} diverged from the serial shards=1 "
+                f"reference"
             )
         row: Dict[str, object] = {
             "shards": shards,
             "shard_workers": workers,
+            "executor": executor,
             "wall_s": round(wall, 4),
         }
         row.update({
@@ -254,12 +302,21 @@ def _run_parallel_shards(args: argparse.Namespace) -> int:
                 "mean_latency", "wait_fraction",
             )
         })
-        row["work"] = result.executor_stats
+        stats = result.executor_stats
+        row["work"] = stats
         rows.append(row)
-        print(f"  shards={shards} shard_workers={workers}: {wall:.2f}s "
-              f"(sharded={result.executor_stats['sharded_classifications']}, "
-              f"spill={result.executor_stats['spill_classifications']}, "
-              f"barriers={result.executor_stats['barrier_waits']})")
+        causes = stats["spill_causes"]
+        cause_text = ", ".join(
+            f"{cause}={count}" for cause, count in causes.items()
+        ) or "none"
+        print(f"  shards={shards} shard_workers={workers} "
+              f"executor={executor}: {wall:.2f}s "
+              f"(sharded={stats['sharded_classifications']}, "
+              f"spill={stats['spill_classifications']} [{cause_text}], "
+              f"spill_fraction={stats['spill_fraction']:.4f}, "
+              f"barriers={stats['barrier_waits']}, "
+              f"ipc={stats['ipc_round_trips']}, "
+              f"delta_bytes={stats['delta_bytes']})")
     total = time.perf_counter() - start
     print(format_table(rows, _PARALLEL_COLUMNS))
     print(f"\n{len(rows)} configurations in {total:.2f}s "
@@ -272,7 +329,7 @@ def _run_parallel_shards(args: argparse.Namespace) -> int:
             "engine": "event",
             "num_txns": _scaled(8000, scale),
             "num_entities": 12_000,
-            "sweep": [list(pair) for pair in sweep],
+            "sweep": [list(entry) for entry in sweep],
         },
     )
     print(f"artifact: {out}")
@@ -399,6 +456,135 @@ SPECIAL_BENCHES: Dict[str, Callable[[argparse.Namespace], int]] = {
 }
 
 
+# ----------------------------------------------------------------------
+# Artifact diff (--compare): the CI regression gate
+# ----------------------------------------------------------------------
+
+#: Row keys that *identify* a row rather than measure it: two compared
+#: artifacts must agree on these per row (same sweep, same cells).
+_IDENTITY_KEYS = (
+    "policy", "workload", "case", "shards", "shard_workers", "executor",
+)
+
+_COMPARE_COLUMNS = ["row", "metric", "old", "new", "delta", "delta_pct"]
+
+
+def _row_label(row: Dict[str, object]) -> str:
+    parts = [
+        f"{k}={row[k]}" for k in _IDENTITY_KEYS if k in row
+    ]
+    return " ".join(parts) if parts else "<row>"
+
+
+def _flatten_numeric(row: Dict[str, object], prefix: str = "") -> Dict[str, float]:
+    """Numeric leaves of a row (descending into the nested ``work``
+    counter dict), keyed ``name`` / ``work.name``; bools excluded."""
+    out: Dict[str, float] = {}
+    for key, value in row.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            out[prefix + key] = float(value)
+        elif isinstance(value, dict):
+            out.update(_flatten_numeric(value, prefix=f"{prefix}{key}."))
+    return out
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    """``--compare OLD.json NEW.json``: the artifact-diff mode CI uses as
+    its regression gate instead of ad-hoc wall-clock guards.  Asserts the
+    two artifacts describe the same bench and row identities, prints
+    per-row deltas (absolute and %) for every shared numeric column —
+    including the nested work counters — and fails (exit 1) when any
+    row's ``wall_s`` regressed by more than ``--max-wall-regression``
+    (a fraction: 0.5 allows +50%).  Without the threshold the diff is
+    report-only and always exits 0."""
+    old_path, new_path = args.compare
+    with open(old_path) as fh:
+        old = json.load(fh)
+    with open(new_path) as fh:
+        new = json.load(fh)
+    for field in ("bench", "schema"):
+        if old.get(field) != new.get(field):
+            print(f"compare: {field!r} mismatch: "
+                  f"{old.get(field)!r} vs {new.get(field)!r}")
+            return 2
+    old_rows, new_rows = old.get("rows", []), new.get("rows", [])
+    if len(old_rows) != len(new_rows):
+        print(f"compare: row count mismatch: {len(old_rows)} vs "
+              f"{len(new_rows)}")
+        return 2
+    failures: List[str] = []
+    table: List[Dict[str, object]] = []
+    for i, (o, n) in enumerate(zip(old_rows, new_rows)):
+        for key in _IDENTITY_KEYS:
+            if o.get(key) != n.get(key):
+                print(f"compare: row {i} identity {key!r} mismatch: "
+                      f"{o.get(key)!r} vs {n.get(key)!r}")
+                return 2
+        o_num, n_num = _flatten_numeric(o), _flatten_numeric(n)
+        shared = [k for k in o_num if k in n_num]
+        missing = sorted(set(o_num).symmetric_difference(n_num))
+        if missing:
+            print(f"compare: row {i} ({_row_label(o)}): keys only on one "
+                  f"side (skipped): {', '.join(missing)}")
+        label = _row_label(o)
+        for key in shared:
+            before, after = o_num[key], n_num[key]
+            delta = after - before
+            pct = (100.0 * delta / before) if before else float("inf")
+            if delta == 0:
+                continue
+            table.append({
+                "row": label,
+                "metric": key,
+                "old": round(before, 4),
+                "new": round(after, 4),
+                "delta": round(delta, 4),
+                "delta_pct": (f"{pct:+.1f}%" if before else "new"),
+            })
+        if (args.max_wall_regression is not None
+                and "wall_s" in o_num and "wall_s" in n_num
+                and n_num["wall_s"] > o_num["wall_s"]
+                * (1.0 + args.max_wall_regression)):
+            failures.append(
+                f"row {i} ({label}): wall_s {o_num['wall_s']:.4f} -> "
+                f"{n_num['wall_s']:.4f} exceeds allowed "
+                f"+{100 * args.max_wall_regression:.0f}%"
+            )
+    # The harness wall clock lives at the top level (grid presets do not
+    # record per-row walls) — gate it under the same threshold.
+    old_wall, new_wall = old.get("wall_s"), new.get("wall_s")
+    if isinstance(old_wall, (int, float)) and isinstance(new_wall, (int, float)):
+        delta = new_wall - old_wall
+        if delta:
+            table.append({
+                "row": "<artifact>", "metric": "wall_s",
+                "old": round(float(old_wall), 4),
+                "new": round(float(new_wall), 4),
+                "delta": round(delta, 4),
+                "delta_pct": (f"{100.0 * delta / old_wall:+.1f}%"
+                              if old_wall else "new"),
+            })
+        if (args.max_wall_regression is not None
+                and new_wall > old_wall * (1.0 + args.max_wall_regression)):
+            failures.append(
+                f"artifact wall_s {old_wall:.4f} -> {new_wall:.4f} exceeds "
+                f"allowed +{100 * args.max_wall_regression:.0f}%"
+            )
+    if table:
+        print(format_table(table, _COMPARE_COLUMNS))
+    else:
+        print("compare: no numeric differences")
+    print(f"\ncompared {len(old_rows)} rows "
+          f"({old.get('bench')!r}, {old_path} -> {new_path})")
+    if failures:
+        for failure in failures:
+            print(f"REGRESSION: {failure}")
+        return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.bench",
@@ -440,12 +626,29 @@ def build_parser() -> argparse.ArgumentParser:
              "this filters the sweep to workers in {0, N})",
     )
     parser.add_argument(
+        "--executor", choices=("serial", "thread", "process"), default=None,
+        help="in-run classify executor kind when --shard-workers >= 1 "
+             "(rows are byte-identical for any kind; for parallel_shards "
+             "this filters the sweep to {serial, KIND} rows)",
+    )
+    parser.add_argument(
         "--out", default=None,
         help="artifact path (default: BENCH_grid_<preset>.json)",
     )
     parser.add_argument(
         "--list", action="store_true",
         help="list presets and registered workload factories, then exit",
+    )
+    parser.add_argument(
+        "--compare", nargs=2, metavar=("OLD.json", "NEW.json"), default=None,
+        help="artifact-diff mode: print per-row metric deltas between two "
+             "BENCH artifacts of the same bench; with "
+             "--max-wall-regression, exit 1 on a wall_s regression",
+    )
+    parser.add_argument(
+        "--max-wall-regression", type=_positive_float, default=None,
+        help="with --compare: allowed fractional wall_s growth "
+             "(0.5 = +50%%) before the diff exits non-zero",
     )
     return parser
 
@@ -457,8 +660,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("special:   ", ", ".join(sorted(SPECIAL_BENCHES)))
         print("factories: ", ", ".join(grid_factory_names()))
         return 0
+    if args.compare is not None:
+        if args.preset is not None:
+            build_parser().error("--compare takes no preset")
+        return _run_compare(args)
     if args.preset is None:
-        build_parser().error("a preset is required (or --list)")
+        build_parser().error("a preset is required (or --list, --compare)")
     if args.preset in SPECIAL_BENCHES:
         return SPECIAL_BENCHES[args.preset](args)
     spec = PRESETS[args.preset](args.scale)
@@ -473,6 +680,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         overrides["lock_shards"] = args.shards
     if args.shard_workers is not None:
         overrides["shard_workers"] = args.shard_workers
+    if args.executor is not None:
+        overrides["executor"] = args.executor
     if overrides:
         spec = dataclasses.replace(spec, **overrides)
 
@@ -497,6 +706,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "seeds": list(spec.seeds),
             "lock_shards": spec.lock_shards,
             "shard_workers": spec.shard_workers,
+            "executor": spec.executor,
         },
     )
     print(f"artifact: {out}")

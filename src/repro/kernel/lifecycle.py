@@ -62,6 +62,7 @@ class KernelRun:
         max_restarts: int = 10,
         lock_shards: int = 1,
         shard_workers: int = 0,
+        executor_kind: str = "thread",
         event_engine: bool = True,
     ):
         self.context = context
@@ -75,9 +76,13 @@ class KernelRun:
         self.classifier = Classifier(
             self.live, self.metrics, self.table, self.graph, self.cache
         )
-        #: The classify-phase executor (serial reference or thread-pool
-        #: fan-out over shard slices; see :mod:`repro.sim.executor`).
-        self.executor = make_executor(shard_workers)
+        #: The classify-phase executor (serial reference, thread-pool
+        #: fan-out, or replica-owning worker processes over shard slices;
+        #: see :mod:`repro.sim.executor`).  ``bind_table`` lets the
+        #: process executor switch on the table's delta tracking before
+        #: any lock is granted.
+        self.executor = make_executor(shard_workers, kind=executor_kind)
+        self.executor.bind_table(self.table)
         self.log = EventLog()
         self.committed: List[str] = []
         self.dropped: List[str] = []

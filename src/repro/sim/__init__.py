@@ -7,6 +7,7 @@ from .deadlock import find_cycle, find_cycle_counted, pick_victim, resolve_deadl
 from .executor import (
     ExecutorStats,
     ParallelExecutor,
+    ProcessExecutor,
     SerialExecutor,
     make_executor,
     shard_phase,
@@ -55,6 +56,7 @@ __all__ = [
     "Metrics",
     "ParallelExecutor",
     "PolicySpec",
+    "ProcessExecutor",
     "SerialExecutor",
     "SeedOutcome",
     "SimResult",

@@ -278,43 +278,65 @@ class AdmissionCache:
 
     def route(
         self, name: str, shard_of: Callable[[Entity], int]
-    ) -> Optional[int]:
-        """Which shard slice ``name``'s classification belongs to, or
-        ``None`` for the global slice.  A session routes to the shard of
-        its pending lock/unlock step's entity — a lock derivation reads
-        only that shard's holder map, an unlock derivation reads nothing —
-        except when it needs an admission check or declares invalidation
-        dependencies: ``admission()`` and ``admission_dependencies()`` may
-        read shared policy context, so those derivations stay on the
-        coordinator (as do entity-less steps).  Routing happens at drain
-        time, never cached: the pending step advances between ticks, so a
-        stored shard hint would go stale."""
+    ) -> Tuple[Optional[int], Optional[str]]:
+        """``(shard, spill_cause)`` for ``name``'s classification: which
+        shard slice it belongs to (``shard`` is ``None`` for the global
+        slice, in which case ``spill_cause`` names why).  Routing rules,
+        in order:
+
+        * a dependency-declaring session whose declared invalidation
+          channels all hash to one shard routes there (its verdict can
+          only flip on events homed on that shard); channels spanning
+          shards spill with cause ``"dynamic"``;
+        * everyone else — including admission-needing sessions, whose
+          ``admission()`` call is a pure read of shared policy context
+          (proven transitively by lint rule RPR007), so the derive half
+          may run on any worker — routes to its pending step's entity
+          shard: a lock derivation reads only that shard's holder map,
+          every other derivation reads nothing;
+        * only genuinely entity-less work remains coordinator-bound
+          (cause ``"admission"`` / ``"entity_less"``).
+
+        Routing happens at drain time, never cached: the pending step
+        advances between ticks, so a stored shard hint would go stale."""
         entry = self._live.get(name)
-        if entry is None or entry.needs_admission or entry.tracks_deps:
-            return None
+        if entry is None:
+            return None, "entity_less"
+        if entry.tracks_deps:
+            deps = entry.session.admission_dependencies()
+            channels = tuple(deps) if deps is not None else ()
+            homes = {shard_of(ch) for ch in channels}
+            if len(homes) == 1:
+                return min(homes), None
+            if homes:
+                return None, "dynamic"
+            # Declared nothing: the verdict is step-local, so the pending
+            # entity's shard is as good a home as any.
         step = entry.session.peek()
-        if (
-            step is not None
-            and (step.is_lock or step.is_unlock)
-            and step.lock_mode is not None
-        ):
-            return shard_of(step.entity)
-        return None
+        if step is None or step.entity is None:
+            cause = "admission" if entry.needs_admission else "entity_less"
+            return None, cause
+        return shard_of(step.entity), None
 
     def take_check_slices(
         self, shard_of: Callable[[Entity], int], shards: int
-    ) -> Tuple[List[List[str]], List[str]]:
-        """:meth:`take_check_set` partitioned into shard-local slices plus
-        the global slice (admission-needing or lock-free sessions).  Each
-        slice preserves the sorted order of the merged set, so the serial
-        executor's sorted merge of all slices reproduces the legacy check
-        sequence exactly."""
+    ) -> Tuple[List[List[str]], List[str], Dict[str, int]]:
+        """:meth:`take_check_set` partitioned into shard-local slices, the
+        global slice, and this tick's per-cause spill tally (see
+        :meth:`route`).  Each slice preserves the sorted order of the
+        merged set, so the serial executor's sorted merge of all slices
+        reproduces the legacy check sequence exactly."""
         slices: List[List[str]] = [[] for _ in range(shards)]
         global_slice: List[str] = []
+        spill: Dict[str, int] = {}
         for n in self.take_check_set():
-            s = self.route(n, shard_of)
-            (global_slice if s is None else slices[s]).append(n)
-        return slices, global_slice
+            s, cause = self.route(n, shard_of)
+            if s is None:
+                global_slice.append(n)
+                spill[cause] = spill.get(cause, 0) + 1
+            else:
+                slices[s].append(n)
+        return slices, global_slice, spill
 
     def runnable_slices(
         self, shard_of: Callable[[Entity], int], shards: int
@@ -325,7 +347,7 @@ class AdmissionCache:
         slices: List[List[str]] = [[] for _ in range(shards)]
         global_slice: List[str] = []
         for n in sorted(self.runnable):
-            s = self.route(n, shard_of)
+            s, _ = self.route(n, shard_of)
             (global_slice if s is None else slices[s]).append(n)
         return slices, global_slice
 
@@ -402,14 +424,15 @@ class Classifier:
         """The pure-read half of a classification: one iteration of the
         naive Phase-2 loop with every mutation replaced by a field of the
         returned :class:`Decision`.  Reads the session's pending step, the
-        policy verdict (global-slice sessions only — shard routing keeps
-        ``needs_admission`` sessions off workers), the lock table's holder
-        map for the pending entity, and the live table; during the
-        classify phase all of these are frozen, so derivations of distinct
-        sessions commute and may run on shard workers.  Lint rule RPR007
-        verifies the purity claim transitively: every write or mutation
-        reachable from ``derive`` through the whole-program call graph is
-        a finding."""
+        policy verdict (a pure read of shared policy context, so admission
+        sessions may derive on thread workers too; the process executor
+        keeps them on the coordinator because the context is not
+        replicated), the lock table's holder map for the pending entity,
+        and the live table; during the classify phase all of these are
+        frozen, so derivations of distinct sessions commute and may run on
+        shard workers.  Lint rule RPR007 verifies the purity claim
+        transitively: every write or mutation reachable from ``derive``
+        through the whole-program call graph is a finding."""
         name = entry.item.name
         step = entry.session.peek()
         assert step is not None

@@ -94,6 +94,10 @@ class GridSpec:
     #: Classify-phase shard workers per seed-run (0 = serial reference;
     #: any count produces byte-identical rows; event engine only).
     shard_workers: int = 0
+    #: Classify-phase executor kind when ``shard_workers >= 1``
+    #: ("serial" / "thread" / "process"; any kind produces byte-identical
+    #: rows — see :func:`repro.sim.executor.make_executor`).
+    executor: str = "thread"
     pairs: Optional[Tuple[Tuple[PolicySpec, WorkloadSpec], ...]] = None
 
     def cells(self) -> List[Tuple[PolicySpec, WorkloadSpec]]:
@@ -117,6 +121,7 @@ class _SeedTask:
     check_serializability: bool
     lock_shards: int = 1
     shard_workers: int = 0
+    executor: str = "thread"
 
 
 def _run_task(task: _SeedTask) -> Tuple[int, int, SeedOutcome]:
@@ -131,6 +136,7 @@ def _run_task(task: _SeedTask) -> Tuple[int, int, SeedOutcome]:
         engine=task.engine,
         lock_shards=task.lock_shards,
         shard_workers=task.shard_workers,
+        executor=task.executor,
     )
     return task.cell, task.slot, outcome
 
@@ -190,6 +196,7 @@ def run_grid(
             check_serializability=spec.check_serializability,
             lock_shards=spec.lock_shards,
             shard_workers=spec.shard_workers,
+            executor=spec.executor,
         )
         for ci, (p, w) in enumerate(cells)
         for si, seed in enumerate(seeds)

@@ -71,6 +71,46 @@ class LockTable:
         #: Reverse waiter index: waiter -> entity it waits on (global; a
         #: transaction waits on at most one entity at a time).
         self._waiting_on: Dict[str, Entity] = {}
+        #: Opt-in change log for replica-owning executors: the set of
+        #: entities whose holder map mutated since the last drain.  Off
+        #: (``None``) by default — tracking costs one ``set.add`` per
+        #: holder mutation, and only the process executor reads it.
+        self._delta_log: Optional[Set[Entity]] = None
+
+    # ------------------------------------------------------------------
+    # Holder-delta extraction (process-executor replica protocol)
+    # ------------------------------------------------------------------
+
+    def enable_delta_tracking(self) -> None:
+        """Start recording which entities' holder maps change.  Must be
+        called before any grant so the first :meth:`take_holder_delta`
+        bootstraps a complete replica (the delta of everything-from-empty
+        is the full state)."""
+        if self._delta_log is None:
+            self._delta_log = set()
+
+    def take_holder_delta(self) -> Dict[Entity, Optional[Dict[str, LockMode]]]:
+        """Drain the change log: entity -> current effective-mode holder
+        map (``None`` when no holders remain).  Exactly the inputs of
+        :meth:`blockers` for those entities, which is what a worker-side
+        replica needs to reproduce its verdicts byte-identically."""
+        log = self._delta_log
+        if not log:
+            return {}
+        delta: Dict[Entity, Optional[Dict[str, LockMode]]] = {}
+        for entity in sorted(log, key=repr):  # deterministic payload bytes
+            held = self._part(entity).holders.get(entity)
+            delta[entity] = (
+                {txn: self._effective(modes) for txn, modes in held.items()}
+                if held
+                else None
+            )
+        log.clear()
+        return delta
+
+    def _mark_changed(self, entity: Entity) -> None:
+        if self._delta_log is not None:
+            self._delta_log.add(entity)
 
     def shard_of(self, entity: Entity) -> int:
         """Shard index of ``entity`` under the entity-hash rule — the
@@ -134,6 +174,7 @@ class LockTable:
             txn, set()
         ).add(mode)
         self._held.setdefault(txn, set()).add(entity)
+        self._mark_changed(entity)
 
     def _drop(self, txn: str, entity: Entity, mode: LockMode) -> bool:
         """Remove one mode grant; True only if ``txn``'s *effective* hold on
@@ -147,6 +188,7 @@ class LockTable:
         if modes is None or mode not in modes:
             return False
         modes.discard(mode)
+        self._mark_changed(entity)
         if not modes:
             del current[txn]
             held = self._held.get(txn)
@@ -194,6 +236,7 @@ class LockTable:
         for entity in sorted(self._held.get(txn, ()), key=repr):
             holders = self._part(entity).holders
             modes = holders[entity].pop(txn)
+            self._mark_changed(entity)
             released.append((entity, self._effective(modes)))
             if not holders[entity]:
                 del holders[entity]

@@ -110,13 +110,18 @@ class Simulator:
     the reference both engines' equivalence is asserted against).
     ``lock_shards`` partitions the lock table (any count produces identical
     runs; ``1`` is the single-partition reference).  ``shard_workers``
-    selects the classify-phase executor: ``0`` (default) is the serial
-    reference, ``N>=1`` fans shard-local classification out to ``N``
-    threads behind a deterministic merge barrier — any worker count
-    produces byte-identical runs (event engine only).
+    selects the classify-phase executor worker count: ``0`` (default) is
+    the serial reference, ``N>=1`` fans shard-local classification out to
+    ``N`` workers behind a deterministic merge barrier — any worker count
+    produces byte-identical runs (event engine only).  ``executor``
+    selects the worker kind when ``shard_workers >= 1``: ``"thread"``
+    (default) or ``"process"`` (persistent replica-owning worker
+    processes); ``"serial"`` forces the serial reference regardless of
+    worker count.
     """
 
     ENGINES = ("event", "naive")
+    EXECUTORS = ("serial", "thread", "process")
 
     def __init__(
         self,
@@ -128,12 +133,18 @@ class Simulator:
         engine: str = "event",
         lock_shards: int = 1,
         shard_workers: int = 0,
+        executor: str = "thread",
     ):
         if engine not in self.ENGINES:
             raise ValueError(f"unknown engine {engine!r}; expected one of {self.ENGINES}")
         if shard_workers < 0:
             raise ValueError(
                 f"shard_workers must be >= 0, got {shard_workers}"
+            )
+        if executor not in self.EXECUTORS:
+            raise ValueError(
+                f"unknown executor {executor!r}; expected one of "
+                f"{self.EXECUTORS}"
             )
         if shard_workers and engine != "event":
             raise ValueError(
@@ -148,6 +159,7 @@ class Simulator:
         self.engine = engine
         self.lock_shards = lock_shards
         self.shard_workers = shard_workers
+        self.executor = executor
 
     # ------------------------------------------------------------------
 
@@ -187,6 +199,7 @@ class _Run(KernelRun):
             max_restarts=sim.max_restarts,
             lock_shards=sim.lock_shards,
             shard_workers=sim.shard_workers,
+            executor_kind=sim.executor,
             event_engine=sim.engine == "event",
         )
         self.rng = sim.rng
@@ -316,18 +329,22 @@ class _Run(KernelRun):
         their own shard's holder map, so the parallel executor may derive
         them on workers; all state mutation happens in coordinator-side
         applies at the merge barrier, in shard-index order.  Phase-2
-        policy aborts (global slice only) are applied after the barrier,
-        in the legacy sorted order; returns whether any occurred (which
-        ends the tick).  Lint rule RPR009 pins this shape: the phase body
-        may mutate scheduler state only through ``take_check_slices``,
-        ``run_classify``, and ``abort``."""
+        policy aborts — which may now surface from shard slices too,
+        since admission-needing sessions shard-route — are canonicalized
+        to the legacy sorted-by-name order before processing, so the
+        abort sequence is independent of slice layout; returns whether
+        any occurred (which ends the tick).  Lint rule RPR009 pins this
+        shape: the phase body may mutate scheduler state only through
+        ``take_check_slices``, ``run_classify``, and ``abort``."""
         aborts: List[Tuple[LiveEntry, str]] = []
-        slices, global_slice = self.cache.take_check_slices(
+        slices, global_slice, spill = self.cache.take_check_slices(
             self.table.shard_of, self.table.shards
         )
         self.executor.run_classify(
-            self.classifier, self.live, slices, global_slice, aborts
+            self.classifier, self.live, slices, global_slice, aborts,
+            spill,
         )
+        aborts.sort(key=lambda pr: pr[0].item.name)
         for entry, reason in aborts:
             self.abort(entry, reason)
         return bool(aborts)

@@ -1,6 +1,9 @@
 """The ``python -m repro.bench`` CLI surface: preset/factory discovery via
-``--list`` and the preset definitions themselves (shapes only — the full
-grid runs are exercised by benchmarks/ and the CI smoke jobs)."""
+``--list``, the preset definitions themselves (shapes only — the full
+grid runs are exercised by benchmarks/ and the CI smoke jobs), and the
+``--compare`` artifact-diff mode CI uses as its regression gate."""
+
+import json
 
 import pytest
 
@@ -30,6 +33,7 @@ class TestPresets:
     def test_registry_covers_the_documented_grids(self):
         assert set(bench.PRESETS) == {
             "stress", "deadlock", "traversal", "mega_stress",
+            "mega_stress_50k",
         }
 
     def test_special_benches_registered_and_listed(self, capsys):
@@ -47,6 +51,14 @@ class TestPresets:
         assert not spec.check_serializability
         scaled = bench.PRESETS["mega_stress"](0.02)
         assert scaled.workloads[0].kwargs["num_txns"] < 5000
+
+    def test_mega_stress_50k_shape(self):
+        spec = bench.PRESETS["mega_stress_50k"](1.0)
+        (workload,) = spec.workloads
+        assert workload.kwargs["num_txns"] == 50_000
+        assert workload.kwargs["arrival_rate"] < 1.0  # staggered arrivals
+        assert spec.lock_shards > 1
+        assert not spec.check_serializability
 
     def test_scale_shrinks_with_floor(self):
         spec = bench.PRESETS["stress"](0.0001)
@@ -130,3 +142,131 @@ class TestArgValidation:
         # apart from "serial only".
         args = bench.build_parser().parse_args(["stress"])
         assert args.shard_workers is None
+
+    def test_executor_flag_parses_and_defaults_unset(self):
+        args = bench.build_parser().parse_args(["stress"])
+        assert args.executor is None
+        args = bench.build_parser().parse_args(
+            ["stress", "--executor", "process"]
+        )
+        assert args.executor == "process"
+        with pytest.raises(SystemExit):
+            bench.build_parser().parse_args(["stress", "--executor", "gpu"])
+
+
+def _artifact(tmp_path, name, rows, *, bench_name="parallel_shards",
+              wall_s=10.0, schema=1):
+    doc = {
+        "bench": bench_name,
+        "schema": schema,
+        "scale": 1.0,
+        "workers": 0,
+        "rows": rows,
+        "wall_s": wall_s,
+    }
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def _row(shards=4, workers=2, executor="thread", wall_s=1.0, **extra):
+    row = {
+        "shards": shards,
+        "shard_workers": workers,
+        "executor": executor,
+        "wall_s": wall_s,
+        "committed": 100,
+        "work": {"classify_checks": 500},
+    }
+    row.update(extra)
+    return row
+
+
+class TestCompare:
+    """``--compare OLD.json NEW.json``: the artifact-diff regression gate
+    (replaces CI's ad-hoc wall-clock guards)."""
+
+    def test_identical_artifacts_report_no_differences(self, tmp_path, capsys):
+        old = _artifact(tmp_path, "old.json", [_row()])
+        new = _artifact(tmp_path, "new.json", [_row()])
+        assert bench.main(["--compare", old, new]) == 0
+        assert "no numeric differences" in capsys.readouterr().out
+
+    def test_deltas_reported_without_threshold_exit_zero(
+        self, tmp_path, capsys
+    ):
+        old = _artifact(tmp_path, "old.json", [_row(wall_s=1.0)])
+        new = _artifact(
+            tmp_path, "new.json",
+            [_row(wall_s=2.0, work={"classify_checks": 600})],
+        )
+        assert bench.main(["--compare", old, new]) == 0
+        out = capsys.readouterr().out
+        # Flat metrics and nested work counters both diffed, with %.
+        assert "wall_s" in out
+        assert "work.classify_checks" in out
+        assert "+100.0%" in out
+
+    def test_wall_regression_beyond_threshold_fails(self, tmp_path, capsys):
+        old = _artifact(tmp_path, "old.json", [_row(wall_s=1.0)])
+        new = _artifact(tmp_path, "new.json", [_row(wall_s=2.0)])
+        assert bench.main(
+            ["--compare", old, new, "--max-wall-regression", "0.5"]
+        ) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_wall_regression_within_threshold_passes(self, tmp_path):
+        old = _artifact(tmp_path, "old.json", [_row(wall_s=1.0)])
+        new = _artifact(tmp_path, "new.json", [_row(wall_s=1.3)])
+        assert bench.main(
+            ["--compare", old, new, "--max-wall-regression", "0.5"]
+        ) == 0
+
+    def test_artifact_level_wall_gated_too(self, tmp_path, capsys):
+        # Grid presets record only the harness wall at the top level; the
+        # gate must catch a regression there even with identical rows.
+        old = _artifact(tmp_path, "old.json", [_row()], wall_s=10.0)
+        new = _artifact(tmp_path, "new.json", [_row()], wall_s=30.0)
+        assert bench.main(
+            ["--compare", old, new, "--max-wall-regression", "0.5"]
+        ) == 1
+        assert "artifact wall_s" in capsys.readouterr().out
+
+    def test_bench_mismatch_is_a_usage_failure(self, tmp_path, capsys):
+        old = _artifact(tmp_path, "old.json", [_row()])
+        new = _artifact(
+            tmp_path, "new.json", [_row()], bench_name="mega_stress"
+        )
+        assert bench.main(["--compare", old, new]) == 2
+        assert "mismatch" in capsys.readouterr().out
+
+    def test_row_identity_mismatch_is_a_usage_failure(self, tmp_path, capsys):
+        old = _artifact(tmp_path, "old.json", [_row(executor="thread")])
+        new = _artifact(tmp_path, "new.json", [_row(executor="process")])
+        assert bench.main(["--compare", old, new]) == 2
+        assert "identity" in capsys.readouterr().out
+
+    def test_row_count_mismatch_is_a_usage_failure(self, tmp_path, capsys):
+        old = _artifact(tmp_path, "old.json", [_row(), _row(shards=8)])
+        new = _artifact(tmp_path, "new.json", [_row()])
+        assert bench.main(["--compare", old, new]) == 2
+        assert "row count" in capsys.readouterr().out
+
+    def test_one_sided_keys_are_skipped_not_fatal(self, tmp_path, capsys):
+        old = _artifact(tmp_path, "old.json", [_row(spill_fraction=0.1)])
+        new = _artifact(tmp_path, "new.json", [_row()])
+        assert bench.main(["--compare", old, new]) == 0
+        assert "skipped" in capsys.readouterr().out
+
+    def test_compare_rejects_a_preset(self, tmp_path):
+        old = _artifact(tmp_path, "old.json", [_row()])
+        new = _artifact(tmp_path, "new.json", [_row()])
+        with pytest.raises(SystemExit):
+            bench.main(["stress", "--compare", old, new])
+
+    def test_nonpositive_threshold_rejected(self):
+        with pytest.raises(SystemExit):
+            bench.build_parser().parse_args(
+                ["--compare", "a.json", "b.json",
+                 "--max-wall-regression", "0"]
+            )

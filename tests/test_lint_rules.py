@@ -84,6 +84,36 @@ class TestRuleFixtures:
         assert "wall-clock read" in messages
         assert "id()" in messages
 
+    def test_rpr004_covers_the_process_executor_seam(self):
+        """The spawn-safety rule extends past grid specs to the process
+        executor's worker protocol: Process targets and shipped payloads
+        (send/send_bytes/submit/dumps) must be module-level picklable."""
+        messages = [
+            f.message for f in analyze_file(fixture("rpr004_bad.py"))
+        ]
+        joined = " | ".join(messages)
+        assert "Process target" in joined
+        assert "'local_loop'" in joined
+        assert "'LocalDelta'" in joined
+        assert "dumps() payload" in joined
+        assert "send() payload" in joined
+        assert "submit() payload" in joined
+
+    def test_rpr004_in_tree_executor_seam_is_clean(self):
+        """The real process executor ships module-level payloads only —
+        the extended rule must not flag it (nor the asyncio service's
+        dict-literal ``conn.send`` frames)."""
+        for rel in (
+            ("src", "repro", "sim", "executor.py"),
+            ("src", "repro", "service", "server.py"),
+        ):
+            path = os.path.join(REPO_ROOT, *rel)
+            if os.path.exists(path):
+                findings = [
+                    f for f in analyze_file(path) if f.code == "RPR004"
+                ]
+                assert findings == [], f"{path}: {findings}"
+
     def test_rpr006_covers_reads_writes_and_mutators(self, tmp_path):
         path = tmp_path / "frag.py"
         path.write_text(
